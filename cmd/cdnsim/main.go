@@ -1,0 +1,57 @@
+// Command cdnsim runs the §5 deployment experiment: certificate
+// reissue (Figure 6), IP-based coalescing with passive and active
+// measurement (§5.2, Figure 7a), and the ORIGIN-frame deployment with
+// its longitudinal view (§5.3, Figures 7b and 8) plus the PLT
+// comparison (Figure 9 bottom).
+//
+// Usage:
+//
+//	cdnsim -sample 5000 -phase all
+//	cdnsim -sample 2000 -phase origin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respectorigin/internal/cdn"
+	"respectorigin/internal/report"
+)
+
+func main() {
+	sample := flag.Int("sample", 5000, "candidate sample domains (paper: 5000)")
+	seed := flag.Int64("seed", 1, "seed")
+	phase := flag.String("phase", "all", "ip | origin | passive | all")
+	days := flag.Int("days", 28, "longitudinal window in days")
+	flag.Parse()
+
+	d := report.NewDeployment(*sample, *seed)
+	fmt.Println(d.Figure6())
+
+	runIP := *phase == "ip" || *phase == "all"
+	runOrigin := *phase == "origin" || *phase == "all"
+	runPassive := *phase == "passive" || *phase == "all"
+
+	if runIP {
+		_, _, txt := d.Figure7(cdn.PhaseIP)
+		fmt.Println(txt)
+	}
+	if runPassive {
+		_, txt := d.PassiveIP(5)
+		fmt.Println(txt)
+	}
+	if runOrigin {
+		_, _, txt := d.Figure7(cdn.PhaseOrigin)
+		fmt.Println(txt)
+		start, end := *days/4, *days*3/4
+		_, _, txt8 := d.Figure8(*days, start, end)
+		fmt.Println(txt8)
+		_, txt9 := d.Figure9Deployment(*seed)
+		fmt.Println(txt9)
+	}
+	if !runIP && !runOrigin && !runPassive {
+		fmt.Fprintf(os.Stderr, "cdnsim: unknown phase %q\n", *phase)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+// Command crawl generates the synthetic web corpus (the stand-in for
+// the paper's WebPageTest crawl of the Tranco top-500K) and writes it
+// as newline-delimited JSON HAR-style pages.
+//
+// Usage:
+//
+//	crawl -sites 20000 -seed 1 -out dataset.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respectorigin/internal/har"
+	"respectorigin/internal/webgen"
+)
+
+func main() {
+	sites := flag.Int("sites", 20000, "number of ranked sites to attempt")
+	seed := flag.Int64("seed", 1, "deterministic generator seed")
+	out := flag.String("out", "dataset.ndjson", "output file (- for stdout)")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = *sites
+	cfg.Seed = *seed
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := har.WriteJSON(w, ds.Pages); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "crawl: %d successful page loads (%d failures) -> %s\n",
+		len(ds.Pages), ds.Failures, *out)
+}

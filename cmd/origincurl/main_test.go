@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct{ in, host, path string }{
+		{"https://example.com/a/b", "example.com", "/a/b"},
+		{"https://example.com", "example.com", "/"},
+		{"example.com/x", "example.com", "/x"},
+		{"https://h.example/", "h.example", "/"},
+	}
+	for _, c := range cases {
+		host, path := splitURL(c.in)
+		if host != c.host || path != c.path {
+			t.Errorf("splitURL(%q) = %q, %q", c.in, host, path)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a.example, ,b.example,,c.example ")
+	want := []string{"a.example", "b.example", "c.example"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitNonEmpty = %v", got)
+	}
+	if splitNonEmpty("") != nil {
+		t.Error("empty input should yield nil")
+	}
+}

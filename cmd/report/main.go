@@ -1,0 +1,152 @@
+// Command report regenerates the paper's tables and figures from a
+// synthetic corpus.
+//
+// Usage:
+//
+//	report -sites 20000                  # everything
+//	report -sites 20000 -table 2        # one table
+//	report -sites 20000 -figure 3       # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"respectorigin/internal/asn"
+	"respectorigin/internal/har"
+	"respectorigin/internal/report"
+	"respectorigin/internal/webgen"
+)
+
+func main() {
+	sites := flag.Int("sites", 20000, "corpus size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	inFile := flag.String("in", "", "load corpus from an NDJSON file (cmd/crawl output) instead of generating")
+	harFile := flag.String("har", "", "load a standard HAR 1.2 archive (WebPageTest/DevTools) instead of generating")
+	asnFile := flag.String("asn", "", "IP-to-ASN prefix file ('prefix asn org' lines) for -har imports")
+	table := flag.Int("table", 0, "print only this table (1-9)")
+	figure := flag.Int("figure", 0, "print only this figure (1-5, 9)")
+	cdnASN := flag.Uint("cdn-asn", 13335, "deployment CDN ASN for Figure 9")
+	privacyOnly := flag.Bool("privacy", false, "print only the §6.2 privacy-exposure comparison")
+	policiesOnly := flag.Bool("policies", false, "print only the §2.3 policy cross-validation")
+	schedOnly := flag.Bool("scheduling", false, "print only the §6.1 delivery-ordering comparison")
+	flag.Parse()
+
+	var ds *webgen.Dataset
+	if *harFile != "" {
+		db := asn.NewDB()
+		if *asnFile != "" {
+			f, err := os.Open(*asnFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "report:", err)
+				os.Exit(1)
+			}
+			if _, err := db.Load(f); err != nil {
+				fmt.Fprintln(os.Stderr, "report:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		f, err := os.Open(*harFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		pages, err := har.ImportHAR(f, har.ImportOptions{
+			LookupASN: func(a netip.Addr) uint32 { return uint32(db.LookupASN(a)) },
+		})
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		ds = &webgen.Dataset{Pages: pages, ASDB: db}
+	} else if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		pages, err := har.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		ds = &webgen.Dataset{Pages: pages, ASDB: webgen.RebuildASDB(pages)}
+	} else {
+		cfg := webgen.DefaultConfig()
+		cfg.Sites = *sites
+		cfg.Seed = *seed
+		var err error
+		ds, err = webgen.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+	}
+	c := report.NewCorpus(ds)
+
+	tables := map[int]func() string{
+		1: func() string { _, s := c.Table1(5); return s },
+		2: func() string { _, s := c.Table2(10); return s },
+		3: func() string { _, _, s := c.Table3(); return s },
+		4: func() string { _, s := c.Table4(10); return s },
+		5: func() string { _, s := c.Table5(12); return s },
+		6: func() string { _, s := c.Table6(3, 4); return s },
+		7: func() string { _, s := c.Table7(10); return s },
+		8: func() string { _, s := c.Table8(10); return s },
+		9: func() string { _, s := c.Table9(3, 5); return s },
+	}
+	figures := map[int]func() string{
+		1: func() string { _, _, s := c.Figure1(); return s },
+		2: func() string { return c.Figure2(0, 72) },
+		3: func() string { _, s := c.Figure3(); return s },
+		4: func() string { _, _, s := c.Figure4(); return s },
+		5: func() string { _, s := c.Figure5(); return s },
+		9: func() string { _, s := c.Figure9Model(uint32(*cdnASN)); return s },
+	}
+
+	switch {
+	case *policiesOnly:
+		_, txt := c.PolicyComparison()
+		fmt.Println(txt)
+	case *privacyOnly:
+		_, txt := c.PrivacyReport()
+		fmt.Println(txt)
+	case *schedOnly:
+		_, txt := c.SchedulingReport(6)
+		fmt.Println(txt)
+	case *table != 0:
+		f, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "report: no table %d\n", *table)
+			os.Exit(1)
+		}
+		fmt.Println(f())
+	case *figure != 0:
+		f, ok := figures[*figure]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "report: no figure %d (deployment figures live in cdnsim)\n", *figure)
+			os.Exit(1)
+		}
+		fmt.Println(f())
+	default:
+		for i := 1; i <= 9; i++ {
+			fmt.Println(tables[i]())
+		}
+		for _, i := range []int{1, 2, 3, 4, 5, 9} {
+			fmt.Println(figures[i]())
+		}
+		_, h := c.Headline()
+		fmt.Println(h)
+		_, ptxt := c.PrivacyReport()
+		fmt.Println(ptxt)
+		_, stxt := c.SchedulingReport(6)
+		fmt.Println(stxt)
+		_, pol := c.PolicyComparison()
+		fmt.Println(pol)
+	}
+}

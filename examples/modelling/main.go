@@ -1,0 +1,52 @@
+// Modelling runs the paper's §4 best-case coalescing model on a
+// synthetic corpus: it prints a Figure-2-style waterfall reconstruction
+// for one page, then the corpus-level predictions (Figure 3, Figure 4,
+// Table 9 and the §7 headline numbers).
+//
+//	go run ./examples/modelling -sites 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"respectorigin/internal/report"
+	"respectorigin/internal/webgen"
+)
+
+func main() {
+	sites := flag.Int("sites", 4000, "corpus size")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = *sites
+	cfg.Seed = *seed
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d successful page loads (%d failures)\n\n", len(ds.Pages), ds.Failures)
+
+	c := report.NewCorpus(ds)
+
+	// Pick a small page for a readable waterfall.
+	pageIdx := 0
+	for i, p := range ds.Pages {
+		if n := len(p.Entries); n >= 6 && n <= 10 {
+			pageIdx = i
+			break
+		}
+	}
+	fmt.Println(c.Figure2(pageIdx, 72))
+
+	_, f3 := c.Figure3()
+	fmt.Println(f3)
+	_, _, f4 := c.Figure4()
+	fmt.Println(f4)
+	_, t9 := c.Table9(3, 5)
+	fmt.Println(t9)
+	_, h := c.Headline()
+	fmt.Println(h)
+}

@@ -1,0 +1,3 @@
+module respectorigin
+
+go 1.22

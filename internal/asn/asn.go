@@ -1,0 +1,208 @@
+// Package asn provides an IP-to-ASN mapping database with
+// longest-prefix-match lookup over a binary radix trie, standing in for
+// the internal database the paper used to resolve destination IPs to
+// origin autonomous systems (§3.1, §4.1).
+//
+// The trie stores IPv4 and IPv6 prefixes uniformly as bit strings; a
+// lookup walks at most 128 levels and returns the most specific
+// registered prefix containing the address.
+package asn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Entry describes one registered prefix.
+type Entry struct {
+	Prefix netip.Prefix
+	ASN    ASN
+	Org    string
+}
+
+// DB maps IP addresses to autonomous systems.
+type DB struct {
+	mu   sync.RWMutex
+	v4   *node
+	v6   *node
+	orgs map[ASN]string
+	n    int
+}
+
+type node struct {
+	children [2]*node
+	entry    *Entry
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{v4: &node{}, v6: &node{}, orgs: make(map[ASN]string)}
+}
+
+// Add registers a prefix for an ASN. A more specific prefix added later
+// wins for addresses it covers. Adding the same prefix twice overwrites.
+func (db *DB) Add(prefix netip.Prefix, as ASN, org string) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("asn: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	root := db.v4
+	if prefix.Addr().Is6() {
+		root = db.v6
+	}
+	bits := addrBits(prefix.Addr())
+	n := root
+	for i := 0; i < prefix.Bits(); i++ {
+		b := bit(bits, i)
+		if n.children[b] == nil {
+			n.children[b] = &node{}
+		}
+		n = n.children[b]
+	}
+	if n.entry == nil {
+		db.n++
+	}
+	n.entry = &Entry{Prefix: prefix, ASN: as, Org: org}
+	if org != "" {
+		db.orgs[as] = org
+	}
+	return nil
+}
+
+// Len returns the number of registered prefixes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.n
+}
+
+// Lookup returns the most specific entry covering addr.
+func (db *DB) Lookup(addr netip.Addr) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	root := db.v4
+	maxBits := 32
+	if addr.Is6() {
+		root = db.v6
+		maxBits = 128
+	}
+	bits := addrBits(addr)
+	var best *Entry
+	n := root
+	for i := 0; ; i++ {
+		if n.entry != nil {
+			best = n.entry
+		}
+		if i >= maxBits {
+			break
+		}
+		n = n.children[bit(bits, i)]
+		if n == nil {
+			break
+		}
+	}
+	if best == nil {
+		return Entry{}, false
+	}
+	return *best, true
+}
+
+// LookupASN is Lookup returning just the AS number (0 when unknown).
+func (db *DB) LookupASN(addr netip.Addr) ASN {
+	e, ok := db.Lookup(addr)
+	if !ok {
+		return 0
+	}
+	return e.ASN
+}
+
+// Org returns the organization name registered for an ASN.
+func (db *DB) Org(as ASN) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.orgs[as]
+}
+
+// Entries returns all registered entries sorted by prefix string.
+func (db *DB) Entries() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Entry
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.entry != nil {
+			out = append(out, *n.entry)
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(db.v4)
+	walk(db.v6)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+// Load reads "prefix asn org-name..." lines (comments with #, blank
+// lines skipped), the common interchange format for routing snapshots.
+func (db *DB) Load(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	count := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return count, fmt.Errorf("asn: line %d: need 'prefix asn [org]'", line)
+		}
+		prefix, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return count, fmt.Errorf("asn: line %d: %w", line, err)
+		}
+		var as ASN
+		if _, err := fmt.Sscanf(strings.TrimPrefix(fields[1], "AS"), "%d", &as); err != nil {
+			return count, fmt.Errorf("asn: line %d: bad ASN %q", line, fields[1])
+		}
+		org := ""
+		if len(fields) > 2 {
+			org = strings.Join(fields[2:], " ")
+		}
+		if err := db.Add(prefix, as, org); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, sc.Err()
+}
+
+func addrBits(a netip.Addr) []byte {
+	if a.Is4() {
+		v := a.As4()
+		return v[:]
+	}
+	v := a.As16()
+	return v[:]
+}
+
+func bit(bits []byte, i int) int {
+	return int(bits[i/8]>>(7-i%8)) & 1
+}

@@ -1,0 +1,306 @@
+// Package browser implements the client-side connection-coalescing
+// policies the paper derives from browser source inspection (§2.3):
+//
+//   - PolicyChromium: IP-based coalescing against the connected address
+//     only. A subresource's DNS answer must contain the exact address of
+//     an existing connection; address-set transitivity is lost.
+//   - PolicyFirefox: IP-based coalescing with transitivity. Firefox
+//     caches the full address set from each DNS answer, so any overlap
+//     between a cached set and a new answer permits reuse.
+//   - PolicyFirefoxOrigin: Firefox plus RFC 8336 ORIGIN frame support —
+//     a connection whose origin set contains the hostname (and whose
+//     certificate covers it) is reused. Matching Firefox's shipped
+//     behaviour (§6.8), a blocking DNS query is still issued unless
+//     SkipOriginDNS is set (the paper's recommended client change).
+//
+// Every policy requires the connection's certificate to cover the
+// hostname, and models the 421 Misdirected Request fallback when the
+// reused server turns out not to serve the host (§2.2).
+package browser
+
+import (
+	"net/netip"
+)
+
+// Policy selects a coalescing behaviour.
+type Policy int
+
+// Policies.
+const (
+	PolicyChromium Policy = iota
+	PolicyFirefox
+	PolicyFirefoxOrigin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyChromium:
+		return "chromium"
+	case PolicyFirefox:
+		return "firefox"
+	case PolicyFirefoxOrigin:
+		return "firefox+origin"
+	default:
+		return "unknown"
+	}
+}
+
+// Environment is what the browser sees of the network: DNS, and the
+// certificate / origin-set / reachability of servers. The CDN simulator
+// and test fakes implement it.
+type Environment interface {
+	// Lookup resolves host, returning its address set in answer order.
+	// Implementations count every call as one DNS query.
+	Lookup(host string) ([]netip.Addr, error)
+
+	// CertSANs returns the SAN list of the certificate a server at ip
+	// presents for connections whose SNI is host.
+	CertSANs(host string, ip netip.Addr) []string
+
+	// OriginSet returns the origin set the server at ip advertises on a
+	// connection opened for host (nil when the server sends no ORIGIN
+	// frame).
+	OriginSet(host string, ip netip.Addr) []string
+
+	// Reachable reports whether the server at ip can authoritatively
+	// serve host; false produces a 421 on attempted reuse.
+	Reachable(host string, ip netip.Addr) bool
+}
+
+// Conn is a pooled connection.
+type Conn struct {
+	Host string     // hostname the connection was opened for
+	IP   netip.Addr // connected address
+
+	// Available is the full DNS answer set observed when connecting
+	// (Firefox caches this; Chromium discards all but IP).
+	Available []netip.Addr
+
+	// SANs is the server certificate's SAN list.
+	SANs []string
+
+	// Origins is the origin set advertised on this connection.
+	Origins map[string]bool
+}
+
+// covers reports whether the connection's certificate covers host,
+// honoring single-label wildcards.
+func (c *Conn) covers(host string) bool {
+	return sanMatch(c.SANs, host)
+}
+
+func sanMatch(sans []string, host string) bool {
+	for _, san := range sans {
+		if san == host {
+			return true
+		}
+		if len(san) > 2 && san[0] == '*' && san[1] == '.' {
+			suffix := san[1:] // ".example.com"
+			if len(host) > len(suffix) && host[len(host)-len(suffix):] == suffix {
+				// The wildcard matches exactly one label.
+				label := host[:len(host)-len(suffix)]
+				if label != "" && !contains(label, '.') {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func contains(s string, b byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome reports how one request was satisfied.
+type Outcome struct {
+	Host          string
+	Reused        bool   // satisfied on an existing connection
+	NewConnection bool   // opened a fresh TCP+TLS connection
+	ViaOrigin     bool   // reuse authorized by an ORIGIN frame
+	ConnHost      string // host the carrying connection was opened for
+	DNSQueries    int    // queries issued for this request
+	Got421        bool   // reuse attempt bounced with 421
+	Err           error
+}
+
+// Coalesced reports whether the request rode a connection opened for a
+// different hostname (true cross-host coalescing, as opposed to plain
+// same-host connection reuse).
+func (o Outcome) Coalesced() bool { return o.Reused && o.ConnHost != o.Host }
+
+// Browser is a connection pool governed by a Policy. It is not safe for
+// concurrent use; page loads are sequential per browsing context.
+type Browser struct {
+	Policy Policy
+
+	// SkipOriginDNS suppresses the DNS query for hosts found in an
+	// origin set (the §6.8 recommended client behaviour). Only
+	// meaningful for PolicyFirefoxOrigin.
+	SkipOriginDNS bool
+
+	conns []*Conn
+
+	// Totals across all requests.
+	TotalDNS     int
+	TotalNewConn int
+	Total421     int
+	TotalReused  int
+}
+
+// New returns a Browser with the given policy.
+func New(p Policy) *Browser { return &Browser{Policy: p} }
+
+// Conns returns the current connection pool.
+func (b *Browser) Conns() []*Conn { return b.conns }
+
+// Reset drops all pooled connections and counters (a fresh browsing
+// session, as in the paper's active measurements).
+func (b *Browser) Reset() {
+	b.conns = nil
+	b.TotalDNS = 0
+	b.TotalNewConn = 0
+	b.Total421 = 0
+	b.TotalReused = 0
+}
+
+// Request fetches host through the pool, coalescing when the policy
+// permits.
+func (b *Browser) Request(env Environment, host string) Outcome {
+	out := Outcome{Host: host}
+
+	// ORIGIN-frame path: check origin sets before DNS.
+	if b.Policy == PolicyFirefoxOrigin {
+		if c := b.findByOrigin(host); c != nil {
+			if !b.SkipOriginDNS {
+				// Shipped Firefox still issues a blocking query.
+				out.DNSQueries++
+				env.Lookup(host)
+			}
+			if env.Reachable(host, c.IP) {
+				out.Reused, out.ViaOrigin = true, true
+				out.ConnHost = c.Host
+				b.account(out)
+				return out
+			}
+			// Misconfigured origin set: fail open (§5.3) with a 421.
+			out.Got421 = true
+			return b.connectFresh(env, host, out)
+		}
+	}
+
+	// IP-based paths always query DNS.
+	addrs, err := env.Lookup(host)
+	out.DNSQueries++
+	if err != nil || len(addrs) == 0 {
+		out.Err = err
+		b.account(out)
+		return out
+	}
+
+	if c := b.findByIP(host, addrs); c != nil {
+		if env.Reachable(host, c.IP) {
+			out.Reused = true
+			out.ConnHost = c.Host
+			b.account(out)
+			return out
+		}
+		out.Got421 = true
+	}
+	return b.connectFreshWithAddrs(env, host, addrs, out)
+}
+
+// findByOrigin returns a pooled connection whose origin set contains
+// host and whose certificate covers it.
+func (b *Browser) findByOrigin(host string) *Conn {
+	for _, c := range b.conns {
+		if c.Origins[host] && c.covers(host) {
+			return c
+		}
+	}
+	return nil
+}
+
+// findByIP implements the two IP-matching disciplines.
+func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
+	for _, c := range b.conns {
+		if !c.covers(host) {
+			continue
+		}
+		switch b.Policy {
+		case PolicyChromium:
+			// Only the connected address survives in Chromium's set.
+			for _, a := range answer {
+				if a == c.IP {
+					return c
+				}
+			}
+		case PolicyFirefox, PolicyFirefoxOrigin:
+			// Transitivity over the cached available-set.
+			for _, a := range answer {
+				for _, av := range c.Available {
+					if a == av {
+						return c
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (b *Browser) connectFresh(env Environment, host string, out Outcome) Outcome {
+	addrs, err := env.Lookup(host)
+	out.DNSQueries++
+	if err != nil || len(addrs) == 0 {
+		out.Err = err
+		b.account(out)
+		return out
+	}
+	return b.connectFreshWithAddrs(env, host, addrs, out)
+}
+
+func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []netip.Addr, out Outcome) Outcome {
+	ip := addrs[0]
+	c := &Conn{
+		Host:      host,
+		IP:        ip,
+		Available: append([]netip.Addr(nil), addrs...),
+		SANs:      env.CertSANs(host, ip),
+		Origins:   map[string]bool{},
+	}
+	if b.Policy == PolicyFirefoxOrigin {
+		for _, o := range env.OriginSet(host, ip) {
+			c.Origins[o] = true
+		}
+		// The connection's own host is always in its origin set.
+		c.Origins[host] = true
+	}
+	if b.Policy == PolicyChromium {
+		// Chromium keeps only the connected address (§2.3).
+		c.Available = []netip.Addr{ip}
+	}
+	b.conns = append(b.conns, c)
+	out.NewConnection = true
+	out.ConnHost = host
+	b.account(out)
+	return out
+}
+
+func (b *Browser) account(out Outcome) {
+	b.TotalDNS += out.DNSQueries
+	if out.NewConnection {
+		b.TotalNewConn++
+	}
+	if out.Reused {
+		b.TotalReused++
+	}
+	if out.Got421 {
+		b.Total421++
+	}
+}

@@ -1,0 +1,306 @@
+package cdn
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync/atomic"
+
+	"respectorigin/internal/browser"
+	"respectorigin/internal/measure"
+)
+
+// ExperimentConfig parameterizes the §5 deployment experiment.
+type ExperimentConfig struct {
+	// SampleSize is the number of candidate domains (the paper used the
+	// 5000 domains with the most third-party requests by Referer).
+	SampleSize int
+	// SubpageOnlyFrac is the fraction removed because only their
+	// subpages request the third party (§5.1: 22%).
+	SubpageOnlyFrac float64
+	// AnonymousFrac is the fraction of zones whose third-party requests
+	// use crossorigin=anonymous or fetch()/XHR and never coalesce.
+	AnonymousFrac float64
+	// ChurnFrac is the fraction of zones that stopped requesting the
+	// third party between selection and measurement.
+	ChurnFrac float64
+	// OriginFetchFailFrac is the per-visit probability that a visit's
+	// third-party request goes through a non-coalescing API path during
+	// the ORIGIN phase only (the §5.3 XMLHttpRequest/fetch observation).
+	OriginFetchFailFrac float64
+	// UA shares of visiting clients.
+	FirefoxShare float64
+	ChromeShare  float64 // remainder is HTTP/1.1-era clients
+	// VisitsPerZonePerDay drives passive volume.
+	VisitsPerZonePerDay int
+	Seed                int64
+}
+
+// DefaultExperimentConfig mirrors the paper's setup at reduced scale.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		SampleSize:          5000,
+		SubpageOnlyFrac:     0.22,
+		AnonymousFrac:       0.30,
+		ChurnFrac:           0.06,
+		OriginFetchFailFrac: 0.12,
+		FirefoxShare:        0.08,
+		ChromeShare:         0.72,
+		VisitsPerZonePerDay: 4,
+		Seed:                1,
+	}
+}
+
+// Experiment drives the deployment experiment against a CDN.
+type Experiment struct {
+	CDN *CDN
+	Cfg ExperimentConfig
+
+	rng    *rand.Rand
+	connID atomic.Uint64
+
+	// SampleZones are the retained treated zones (after the 22% cut).
+	SampleZones []*Zone
+	// Removed is how many candidates were cut at selection.
+	Removed int
+}
+
+// SetupExperiment creates the sample zones on the CDN, assigns
+// treatments randomly, and reissues their certificates (Figure 6).
+func SetupExperiment(c *CDN, cfg ExperimentConfig) *Experiment {
+	e := &Experiment{CDN: c, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.SampleSize; i++ {
+		if e.rng.Float64() < cfg.SubpageOnlyFrac {
+			e.Removed++
+			continue
+		}
+		host := fmt.Sprintf("www.sample-%d.example", i)
+		addr := netip.AddrFrom4([4]byte{104, 18, byte(i >> 8), byte(i)})
+		z := c.AddZone(host, SLATierFree, addr)
+		if e.rng.Float64() < 0.5 {
+			z.Treatment = TreatmentExperiment
+		} else {
+			z.Treatment = TreatmentControl
+		}
+		z.UsesAnonymousFetch = e.rng.Float64() < cfg.AnonymousFrac
+		z.Churned = e.rng.Float64() < cfg.ChurnFrac
+		z.ThirdPartyPools = samplePools(e.rng)
+		e.SampleZones = append(e.SampleZones, z)
+	}
+	c.ReissueCertificates()
+	return e
+}
+
+// samplePools draws the number of independent third-party connection
+// pools a page opens (Figure 7a control: 83% one, tail up to 7).
+func samplePools(rng *rand.Rand) int {
+	x := rng.Float64()
+	switch {
+	case x < 0.83:
+		return 1
+	case x < 0.93:
+		return 2
+	case x < 0.97:
+		return 3
+	case x < 0.985:
+		return 4
+	case x < 0.993:
+		return 5
+	case x < 0.998:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// policyForUA maps a user-agent family to its coalescing policy.
+func policyForUA(ua string) (browser.Policy, bool) {
+	switch ua {
+	case "firefox":
+		return browser.PolicyFirefoxOrigin, true
+	case "chrome":
+		return browser.PolicyChromium, true
+	default:
+		return 0, false // HTTP/1.1-era clients: no H2 coalescing
+	}
+}
+
+// VisitResult summarizes one page view.
+type VisitResult struct {
+	Zone            string
+	UA              string
+	NewThirdParty   int // fresh TLS connections opened to the third party
+	CoalescedPools  int
+	ThirdPartyTotal int // third-party request pools exercised
+}
+
+// Visit simulates one page view of zone by a client with the given
+// user-agent on the given day, emitting sampled log records.
+func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
+	res := VisitResult{Zone: z.Host, UA: ua}
+	observe := func(r LogRecord) {
+		if day >= 0 { // day < 0: active measurement, not production logs
+			e.CDN.Pipeline().Observe(r)
+		}
+	}
+	zoneConn := e.connID.Add(1)
+	observe(LogRecord{
+		Day: day, ConnID: zoneConn, SNI: z.Host, Host: z.Host,
+		ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
+	})
+	if z.Churned {
+		return res
+	}
+
+	policy, h2 := policyForUA(ua)
+	var b *browser.Browser
+	if h2 {
+		b = browser.New(policy)
+		b.Request(e.CDN, z.Host)
+	}
+
+	// Per-connection log state; connections are identified by the
+	// hostname they were opened for (the TLS SNI).
+	type connState struct {
+		id    uint64
+		order int
+	}
+	conns := map[string]*connState{z.Host: {id: zoneConn, order: 1}}
+
+	for pool := 0; pool < z.ThirdPartyPools; pool++ {
+		res.ThirdPartyTotal++
+		anonymous := false
+		if pool == 0 {
+			anonymous = z.UsesAnonymousFetch
+		} else {
+			anonymous = e.rng.Float64() < 0.5
+		}
+		if e.CDN.Phase() == PhaseOrigin && e.rng.Float64() < e.Cfg.OriginFetchFailFrac {
+			anonymous = true
+		}
+		if !h2 || anonymous {
+			// Separate, uncredentialed pool: always a fresh connection.
+			res.NewThirdParty++
+			id := e.connID.Add(1)
+			observe(LogRecord{
+				Day: day, ConnID: id, SNI: e.CDN.ThirdParty, Host: e.CDN.ThirdParty,
+				RefererHost: z.Host, ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
+			})
+			continue
+		}
+		out := b.Request(e.CDN, e.CDN.ThirdParty)
+		switch {
+		case out.Reused:
+			cs := conns[out.ConnHost]
+			if cs == nil { // defensive: unknown carrier connection
+				cs = &connState{id: e.connID.Add(1)}
+				conns[out.ConnHost] = cs
+			}
+			cs.order++
+			if out.Coalesced() {
+				res.CoalescedPools++
+			}
+			observe(LogRecord{
+				Day: day, ConnID: cs.id, SNI: out.ConnHost, Host: e.CDN.ThirdParty,
+				RefererHost: z.Host, ArrivalOrder: cs.order, Treatment: z.Treatment, UserAgent: ua,
+			})
+		case out.NewConnection:
+			res.NewThirdParty++
+			id := e.connID.Add(1)
+			conns[e.CDN.ThirdParty] = &connState{id: id, order: 1}
+			observe(LogRecord{
+				Day: day, ConnID: id, SNI: e.CDN.ThirdParty, Host: e.CDN.ThirdParty,
+				RefererHost: z.Host, ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
+			})
+		}
+	}
+	return res
+}
+
+// sampleUA draws a user-agent family from the configured shares.
+func (e *Experiment) sampleUA() string {
+	x := e.rng.Float64()
+	switch {
+	case x < e.Cfg.FirefoxShare:
+		return "firefox"
+	case x < e.Cfg.FirefoxShare+e.Cfg.ChromeShare:
+		return "chrome"
+	default:
+		return "legacy"
+	}
+}
+
+// RunDay simulates one day of passive traffic over all sample zones.
+func (e *Experiment) RunDay(day int) {
+	for _, z := range e.SampleZones {
+		for v := 0; v < e.Cfg.VisitsPerZonePerDay; v++ {
+			e.Visit(z, e.sampleUA(), day)
+		}
+	}
+}
+
+// Longitudinal runs a multi-day deployment: days [0, total); the given
+// phase is active during [phaseStart, phaseEnd); baseline otherwise.
+// It returns per-day new-TLS-connection counts to the third party for
+// control and experiment, computed from the sampled log with the §5.2
+// rules (Figure 8). For the ORIGIN phase the paper filtered to Firefox;
+// pass uaFilter="firefox" for that view.
+func (e *Experiment) Longitudinal(total, phaseStart, phaseEnd int, phase Phase, isolated netip.Addr, uaFilter string) (control, experiment measure.Series) {
+	e.CDN.Pipeline().Reset()
+	for day := 0; day < total; day++ {
+		switch {
+		case day == phaseStart:
+			switch phase {
+			case PhaseIP:
+				e.CDN.EnterPhaseIP()
+			case PhaseOrigin:
+				e.CDN.EnterPhaseOrigin(isolated)
+			}
+		case day == phaseEnd:
+			e.CDN.ExitExperiment()
+		}
+		e.RunDay(day)
+	}
+	e.CDN.ExitExperiment()
+
+	ctl := make([]float64, total)
+	exp := make([]float64, total)
+	seen := map[uint64]bool{}
+	for _, r := range e.CDN.Pipeline().Records() {
+		if r.Host != e.CDN.ThirdParty || r.FlagHostNeSNI {
+			continue
+		}
+		if uaFilter != "" && r.UserAgent != uaFilter {
+			continue
+		}
+		if seen[r.ConnID] {
+			continue
+		}
+		seen[r.ConnID] = true
+		switch r.Treatment {
+		case TreatmentControl:
+			ctl[r.Day]++
+		case TreatmentExperiment:
+			exp[r.Day]++
+		}
+	}
+	return measure.Series{Label: "control", Values: ctl},
+		measure.Series{Label: "experiment", Values: exp}
+}
+
+// ActiveMeasurement repeats the §3 methodology on the sample set with a
+// fresh Firefox per site (caches cleared between loads): it returns the
+// number of new third-party connections per site for the control and
+// experiment groups (Figures 7a/7b).
+func (e *Experiment) ActiveMeasurement() (control, experiment []int) {
+	for _, z := range e.SampleZones {
+		res := e.Visit(z, "firefox", -1)
+		switch z.Treatment {
+		case TreatmentControl:
+			control = append(control, res.NewThirdParty)
+		case TreatmentExperiment:
+			experiment = append(experiment, res.NewThirdParty)
+		}
+	}
+	return control, experiment
+}

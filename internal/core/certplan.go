@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"respectorigin/internal/har"
+	"respectorigin/internal/measure"
+)
+
+// CertPlan is the §4.3 least-effort certificate modification for one
+// website: the hostnames that must be added to the site's existing
+// certificate so that every same-service subresource can coalesce onto
+// the base-page connection.
+type CertPlan struct {
+	Site     string
+	Rank     int
+	Existing []string // current SAN entries of the root certificate
+	// Additions are the coalescable hostnames absent from the SANs.
+	Additions []string
+	// Coalescable are all hostnames reachable on the base-page service.
+	Coalescable []string
+}
+
+// ExistingCount returns the current SAN size.
+func (cp CertPlan) ExistingCount() int { return len(cp.Existing) }
+
+// IdealCount returns the SAN size after modification.
+func (cp CertPlan) IdealCount() int { return len(cp.Existing) + len(cp.Additions) }
+
+// PlanCertChanges computes the least-effort SAN additions for a page:
+// hostnames of secure subresource requests whose service matches the
+// base page's (same origin AS, per the model assumption) and that the
+// existing certificate does not already cover.
+//
+// Only the certificate of the visited website changes (§4.3: "we change
+// only the certificate for the website visited").
+func PlanCertChanges(p *har.Page) CertPlan {
+	root := &p.Entries[0]
+	plan := CertPlan{
+		Site:     p.Host,
+		Rank:     p.Rank,
+		Existing: append([]string(nil), root.CertSANs...),
+	}
+	if !root.Secure {
+		// No certificate to modify; the site would first need HTTPS.
+		return plan
+	}
+	seen := map[string]bool{p.Host: true}
+	for i := 1; i < len(p.Entries); i++ {
+		e := &p.Entries[i]
+		if !e.Secure || e.ServerASN != root.ServerASN {
+			continue
+		}
+		h := strings.ToLower(e.Host)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		plan.Coalescable = append(plan.Coalescable, h)
+		if !sanCovers(plan.Existing, h) {
+			plan.Additions = append(plan.Additions, h)
+		}
+	}
+	sort.Strings(plan.Coalescable)
+	sort.Strings(plan.Additions)
+	return plan
+}
+
+// sanCovers reports whether the SAN list covers host (exact or
+// single-label wildcard).
+func sanCovers(sans []string, host string) bool {
+	for _, san := range sans {
+		if san == host {
+			return true
+		}
+		if strings.HasPrefix(san, "*.") {
+			suffix := san[1:]
+			if strings.HasSuffix(host, suffix) {
+				label := host[:len(host)-len(suffix)]
+				if label != "" && !strings.Contains(label, ".") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CertPlanSummary aggregates §4.3 statistics across a corpus.
+type CertPlanSummary struct {
+	Sites int
+	// NoChangeSites need no SAN modifications at all.
+	NoChangeSites int
+	// AtMostTenChanges counts sites needing ≤10 additions.
+	AtMostTenChanges int
+	// Over78Changes counts the long tail needing >78 additions.
+	Over78Changes int
+	// Existing and Ideal SAN size samples, index-aligned by site.
+	ExistingSizes []int
+	IdealSizes    []int
+	AdditionSizes []int
+	// Over250Existing / Over250Ideal count certificates above 250 SANs.
+	Over250Existing int
+	Over250Ideal    int
+	// MaxIdeal is the largest post-change SAN size.
+	MaxIdeal int
+}
+
+// SummarizeCertPlans computes the corpus-level §4.3 numbers.
+func SummarizeCertPlans(plans []CertPlan) CertPlanSummary {
+	s := CertPlanSummary{Sites: len(plans)}
+	for _, p := range plans {
+		add := len(p.Additions)
+		ex := p.ExistingCount()
+		id := p.IdealCount()
+		s.ExistingSizes = append(s.ExistingSizes, ex)
+		s.IdealSizes = append(s.IdealSizes, id)
+		s.AdditionSizes = append(s.AdditionSizes, add)
+		if add == 0 {
+			s.NoChangeSites++
+		}
+		if add <= 10 {
+			s.AtMostTenChanges++
+		}
+		if add > 78 {
+			s.Over78Changes++
+		}
+		if ex > 250 {
+			s.Over250Existing++
+		}
+		if id > 250 {
+			s.Over250Ideal++
+		}
+		if id > s.MaxIdeal {
+			s.MaxIdeal = id
+		}
+	}
+	return s
+}
+
+// SANRankRow is one row of Table 8: a SAN size and how many sites have
+// it, for the measured and ideal distributions.
+type SANRankRow struct {
+	Rank          int
+	MeasuredSize  int
+	MeasuredCount int
+	IdealSize     int
+	IdealCount    int
+}
+
+// SANRankTable computes the Table 8 top-n ranking of SAN sizes.
+func SANRankTable(s CertPlanSummary, n int) []SANRankRow {
+	rank := func(sizes []int) []struct{ size, count int } {
+		h := measure.Histogram(sizes)
+		out := make([]struct{ size, count int }, 0, len(h))
+		for size, count := range h {
+			out = append(out, struct{ size, count int }{size, count})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].count != out[j].count {
+				return out[i].count > out[j].count
+			}
+			return out[i].size < out[j].size
+		})
+		return out
+	}
+	m := rank(s.ExistingSizes)
+	id := rank(s.IdealSizes)
+	var rows []SANRankRow
+	for i := 0; i < n && i < len(m) && i < len(id); i++ {
+		rows = append(rows, SANRankRow{
+			Rank:          i + 1,
+			MeasuredSize:  m[i].size,
+			MeasuredCount: m[i].count,
+			IdealSize:     id[i].size,
+			IdealCount:    id[i].count,
+		})
+	}
+	return rows
+}
+
+// ProviderChange is one row of Table 9: a hosting provider, the number
+// of its sites in the corpus, and the most frequently needed hostnames
+// to add to its customers' certificates.
+type ProviderChange struct {
+	Provider  string
+	SiteCount int
+	TopHosts  []measure.RankedEntry
+}
+
+// MostEffectiveChanges aggregates cert-plan additions by hosting
+// provider (Table 9): for each provider (identified by the base page's
+// origin AS → org name via orgOf), the hostnames most often needed.
+func MostEffectiveChanges(pages []*har.Page, plans []CertPlan, orgOf func(asn uint32) string, topProviders, topHosts int) []ProviderChange {
+	siteCount := measure.NewCounter()
+	hostCounters := map[string]*measure.Counter{}
+	for i, p := range pages {
+		org := orgOf(p.Entries[0].ServerASN)
+		if org == "" {
+			continue
+		}
+		siteCount.Add(org, 1)
+		hc, ok := hostCounters[org]
+		if !ok {
+			hc = measure.NewCounter()
+			hostCounters[org] = hc
+		}
+		for _, h := range plans[i].Coalescable {
+			hc.Add(h, 1)
+		}
+	}
+	var out []ProviderChange
+	for _, pe := range siteCount.Top(topProviders) {
+		hc := hostCounters[pe.Key]
+		var hosts []measure.RankedEntry
+		if hc != nil {
+			hosts = hc.Top(topHosts)
+			// Shares relative to the provider's site count, as in
+			// Table 9 ("requested by x% of websites served by P").
+			for i := range hosts {
+				hosts[i].Share = 100 * float64(hosts[i].Count) / float64(pe.Count)
+			}
+		}
+		out = append(out, ProviderChange{
+			Provider:  pe.Key,
+			SiteCount: int(pe.Count),
+			TopHosts:  hosts,
+		})
+	}
+	return out
+}

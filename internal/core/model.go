@@ -1,0 +1,352 @@
+// Package core implements the paper's primary contribution: the
+// best-case connection-coalescing model of §4.
+//
+// Given a corpus of page-load timelines (internal/har), the model
+//
+//   - identifies which subresource requests could have been coalesced
+//     under IP-based coalescing, ORIGIN-frame coalescing, or
+//     ORIGIN-frame coalescing restricted to a single CDN (§4.1);
+//   - reconstructs each timeline conservatively, removing only the
+//     smallest DNS time among concurrently-issued coalescable requests
+//     and the connection-establishment phases (§4.1, Figure 2);
+//   - predicts the resulting DNS query, TLS connection and certificate
+//     validation counts (§4.2, Figure 3);
+//   - computes the least-effort certificate SAN changes that enable the
+//     coalescing (§4.3, Figures 4–5, Tables 8–9).
+//
+// The model's central assumption, stated in §4.1, is that every server
+// in an autonomous system can authoritatively serve all content of that
+// AS; a "service" is therefore identified with an origin AS.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"respectorigin/internal/har"
+)
+
+// Mode selects the coalescing discipline being modelled.
+type Mode int
+
+// Modes.
+const (
+	// ModeIP models ideal IP-based coalescing: connections to the same
+	// server address collapse ("missed opportunities", no changes).
+	ModeIP Mode = iota
+	// ModeOrigin models ideal ORIGIN-frame coalescing: connections to
+	// the same service (origin AS) collapse.
+	ModeOrigin
+	// ModeOriginCDN models ORIGIN-frame coalescing deployed at a single
+	// CDN only: requests collapse only within that CDN's AS.
+	ModeOriginCDN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIP:
+		return "ideal-ip"
+	case ModeOrigin:
+		return "ideal-origin"
+	case ModeOriginCDN:
+		return "cdn-origin"
+	default:
+		return "unknown"
+	}
+}
+
+// concurrencyWindowMs groups coalescable requests that start within
+// this window as "starting at the same time" for the conservative
+// minimum-DNS subtraction of §4.1.
+const concurrencyWindowMs = 50
+
+// serviceKeyFn returns the service identity of an entry under a mode,
+// and whether the entry participates in coalescing at all.
+func serviceKeyFn(mode Mode, cdnASN uint32) func(e *har.Entry) (string, bool) {
+	switch mode {
+	case ModeIP:
+		return func(e *har.Entry) (string, bool) {
+			// IP coalescing requires a secure connection to validate
+			// authority, or at least an established TCP connection; the
+			// paper collapses by exact connected address.
+			return "ip:" + e.ServerIP.String(), true
+		}
+	case ModeOriginCDN:
+		return func(e *har.Entry) (string, bool) {
+			if e.ServerASN != cdnASN || !e.Secure {
+				return "", false
+			}
+			return "as:cdn", true
+		}
+	default: // ModeOrigin
+		return func(e *har.Entry) (string, bool) {
+			if !e.Secure {
+				// Cleartext requests cannot ride an authenticated
+				// connection; they still coalesce by IP only.
+				return "ip:" + e.ServerIP.String(), true
+			}
+			return "as:" + itoa(uint64(e.ServerASN)), true
+		}
+	}
+}
+
+// Coalescable returns, for each entry index, whether the request could
+// have been coalesced onto an earlier connection under the mode.
+//
+// Connection openers — entries that paid DNS + connection setup
+// (NewDNS) — are compared per service: the service's earliest opener
+// keeps its connection; every later opener of the same service is
+// coalescable and sheds its setup. Entries that reuse an existing
+// connection are marked coalescable whenever their service has an
+// opener, but they carry no setup to remove. Entry 0 (the base-page
+// request) is never coalescable (§4.1).
+func Coalescable(p *har.Page, mode Mode, cdnASN uint32) []bool {
+	key := serviceKeyFn(mode, cdnASN)
+	out := make([]bool, len(p.Entries))
+
+	// Pass 1: order connection openers per service by start time; all
+	// but the first are coalescable.
+	firstOpener := make(map[string]int, 8)
+	order := entryOrderByStart(p)
+	for _, i := range order {
+		e := &p.Entries[i]
+		if !e.NewDNS {
+			continue
+		}
+		k, ok := key(e)
+		if !ok {
+			continue
+		}
+		if j, seen := firstOpener[k]; !seen {
+			firstOpener[k] = i
+		} else if i != j && i != 0 {
+			out[i] = true
+		}
+	}
+	// Pass 2: reuse entries ride their service's connection.
+	for i := 1; i < len(p.Entries); i++ {
+		e := &p.Entries[i]
+		if e.NewDNS {
+			continue
+		}
+		k, ok := key(e)
+		if !ok {
+			continue
+		}
+		if _, seen := firstOpener[k]; seen {
+			out[i] = true
+		}
+	}
+	out[0] = false
+	return out
+}
+
+// entryOrderByStart returns entry indexes sorted by start time with the
+// root first (stable for ties).
+func entryOrderByStart(p *har.Page) []int {
+	order := make([]int, len(p.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Entries[order[a]].StartedMs < p.Entries[order[b]].StartedMs
+	})
+	return order
+}
+
+// Reconstruct rebuilds the page timeline under the assumption that all
+// coalescable requests ride existing connections (§4.1):
+//
+//   - coalescable entries lose their Connect and SSL phases entirely
+//     and keep no DNS time except the conservative adjustment below;
+//   - among coalescable requests to the same service starting within
+//     concurrencyWindowMs of each other, only the minimum DNS time is
+//     subtracted from each; the excess over the minimum is retained,
+//     modelling queries that were already in flight together;
+//   - the CPU/dependency gap between an initiator's end and a child's
+//     start is preserved, so the dependency-graph computation time is
+//     unchanged;
+//   - non-coalescable entries keep their phase durations and shift
+//     with their initiators.
+//
+// The input page is not modified. ExtraDNS/ExtraTLS race effects are
+// dropped in the reconstruction: coalesced connections are not raced.
+func Reconstruct(p *har.Page, mode Mode, cdnASN uint32) *har.Page {
+	q := p.Clone()
+	coal := Coalescable(p, mode, cdnASN)
+	key := serviceKeyFn(mode, cdnASN)
+
+	// Conservative DNS subtraction: group coalescable entries by
+	// (service, start window) and find each group's minimum DNS.
+	type groupKey struct {
+		svc  string
+		slot int64
+	}
+	minDNS := make(map[groupKey]float64)
+	for i := range p.Entries {
+		if !coal[i] {
+			continue
+		}
+		e := &p.Entries[i]
+		svc, _ := key(e)
+		gk := groupKey{svc, int64(e.StartedMs / concurrencyWindowMs)}
+		if v, ok := minDNS[gk]; !ok || e.Timings.DNS < v {
+			minDNS[gk] = e.Timings.DNS
+		}
+	}
+
+	// Adjust phase durations on coalesced entries.
+	for i := range q.Entries {
+		if !coal[i] {
+			continue
+		}
+		e := &q.Entries[i]
+		orig := &p.Entries[i]
+		svc, _ := key(orig)
+		gk := groupKey{svc, int64(orig.StartedMs / concurrencyWindowMs)}
+		sub := minDNS[gk]
+		e.Timings.DNS = orig.Timings.DNS - sub
+		if e.Timings.DNS < 0 {
+			e.Timings.DNS = 0
+		}
+		e.Timings.Connect = 0
+		e.Timings.SSL = 0
+		e.NewDNS = false
+		e.NewTLS = false
+		e.CertIssuer = ""
+		e.CertSANs = nil
+	}
+
+	// Rebuild start times along the initiator graph, preserving the
+	// original gap between parent end and child start.
+	newStart := make([]float64, len(q.Entries))
+	order := topoOrder(p)
+	for _, i := range order {
+		e := &q.Entries[i]
+		if e.Initiator < 0 {
+			newStart[i] = p.Entries[i].StartedMs
+			continue
+		}
+		parent := e.Initiator
+		gap := p.Entries[i].StartedMs - p.Entries[parent].EndMs()
+		ns := newStart[parent] + q.Entries[parent].Timings.Total() + gap
+		if ns < 0 {
+			ns = 0
+		}
+		newStart[i] = ns
+	}
+	for i := range q.Entries {
+		q.Entries[i].StartedMs = newStart[i]
+	}
+
+	q.ExtraDNS = 0
+	q.ExtraTLS = 0
+	q.OnLoadMs = q.LastEntryEnd()
+	dom := 0.0
+	for _, e := range q.Entries {
+		if e.RenderBlocking || e.Initiator == -1 {
+			if v := e.EndMs(); v > dom {
+				dom = v
+			}
+		}
+	}
+	if dom == 0 || dom > q.OnLoadMs {
+		dom = q.OnLoadMs
+	}
+	q.DOMLoadMs = dom
+	return q
+}
+
+// topoOrder returns entry indexes in initiator order (parents before
+// children). Entries reference earlier indexes, so index order works.
+func topoOrder(p *har.Page) []int {
+	order := make([]int, len(p.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// PageCounts are the §4.2 per-page quantities.
+type PageCounts struct {
+	MeasuredDNS int
+	MeasuredTLS int
+	// MeasuredValidations equals measured TLS handshakes (every fresh
+	// handshake validates a chain).
+	MeasuredValidations int
+
+	IdealIP     int // connections under ideal IP coalescing
+	IdealOrigin int // connections (= DNS = validations) under ORIGIN
+}
+
+// CountPage computes the §4.2 counts for one page.
+//
+// Services are identified per host: a host served over HTTPS at least
+// once groups into its origin AS (the ORIGIN-frame service); a host
+// only ever reached over cleartext HTTP can coalesce by address only.
+func CountPage(p *har.Page) PageCounts {
+	pc := PageCounts{
+		MeasuredDNS:         p.DNSQueries(),
+		MeasuredTLS:         p.TLSConnections(),
+		MeasuredValidations: p.TLSConnections(),
+	}
+	type hostState struct {
+		ip     string
+		asn    uint32
+		secure bool
+	}
+	hosts := map[string]*hostState{}
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		hs, ok := hosts[e.Host]
+		if !ok {
+			hs = &hostState{ip: e.ServerIP.String(), asn: e.ServerASN}
+			hosts[e.Host] = hs
+		}
+		if e.Secure {
+			hs.secure = true
+		}
+	}
+	ips := map[string]bool{}
+	services := map[string]bool{}
+	for _, hs := range hosts {
+		ips[hs.ip] = true
+		if hs.secure {
+			services["as:"+itoa(uint64(hs.asn))] = true
+		} else {
+			services["ip:"+hs.ip] = true
+		}
+	}
+	pc.IdealIP = len(ips)
+	pc.IdealOrigin = len(services)
+	return pc
+}
+
+// PLTImprovement returns (measured PLT, reconstructed PLT) for a page
+// under a mode.
+func PLTImprovement(p *har.Page, mode Mode, cdnASN uint32) (measured, reconstructed float64) {
+	return p.PLT(), Reconstruct(p, mode, cdnASN).PLT()
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// ClampNonNegative is a defensive helper used by reconstruction
+// consumers; exported for reuse in reports.
+func ClampNonNegative(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// A Resolver is a stub resolver over an Authority. It speaks real wire
+// format (queries are packed and responses unpacked, exercising the
+// codec on every lookup), counts every query it issues, and keeps the
+// per-name answer sets that the Firefox coalescing policy caches.
+type Resolver struct {
+	upstream *Authority
+
+	mu      sync.Mutex
+	nextID  uint16
+	queries int64
+	// lastAnswers records the most recent address set per hostname, in
+	// answer order. Browser policies read this to build connected-sets
+	// and available-sets (§2.3).
+	lastAnswers map[string][]netip.Addr
+}
+
+// NewResolver returns a stub resolver querying upstream.
+func NewResolver(upstream *Authority) *Resolver {
+	return &Resolver{upstream: upstream, nextID: 1, lastAnswers: make(map[string][]netip.Addr)}
+}
+
+// Queries reports how many DNS queries this resolver has sent.
+func (r *Resolver) Queries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queries
+}
+
+// ResetQueries zeroes the query counter (between measurement trials).
+func (r *Resolver) ResetQueries() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries = 0
+}
+
+// LookupA resolves a hostname to its IPv4 address set via the wire
+// codec, following CNAMEs.
+func (r *Resolver) LookupA(name string) ([]netip.Addr, error) {
+	return r.lookup(name, TypeA)
+}
+
+// LookupAAAA resolves a hostname to its IPv6 address set.
+func (r *Resolver) LookupAAAA(name string) ([]netip.Addr, error) {
+	return r.lookup(name, TypeAAAA)
+}
+
+func (r *Resolver) lookup(name string, typ uint16) ([]netip.Addr, error) {
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	r.queries++
+	r.mu.Unlock()
+
+	q := &Message{
+		Header:    Header{ID: id, RD: true},
+		Questions: []Question{{Name: name, Type: typ, Class: ClassINET}},
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	respWire, err := r.upstream.HandleWire(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Unpack(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, fmt.Errorf("dns: response ID %d for query %d", resp.Header.ID, id)
+	}
+	if resp.Header.Rcode == RcodeNameError {
+		return nil, &NXDomainError{Name: name}
+	}
+	if resp.Header.Rcode != RcodeSuccess {
+		return nil, fmt.Errorf("dns: rcode %d for %s", resp.Header.Rcode, name)
+	}
+	var addrs []netip.Addr
+	for _, rr := range resp.Answers {
+		if rr.Type == typ {
+			addrs = append(addrs, rr.Addr)
+		}
+	}
+	if len(addrs) > 0 {
+		r.mu.Lock()
+		r.lastAnswers[canonicalName(name)] = addrs
+		r.mu.Unlock()
+	}
+	return addrs, nil
+}
+
+// LastAnswer returns the most recently observed address set for name.
+func (r *Resolver) LastAnswer(name string) []netip.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]netip.Addr(nil), r.lastAnswers[canonicalName(name)]...)
+}
+
+// NXDomainError reports a name that does not exist.
+type NXDomainError struct{ Name string }
+
+func (e *NXDomainError) Error() string { return "dns: NXDOMAIN for " + e.Name }

@@ -1,0 +1,169 @@
+package dns
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// An Authority is an in-process authoritative DNS server over wire-format
+// messages. Zones map owner names to record sets; A/AAAA answers rotate
+// round-robin per query when rotation is enabled, modelling the DNS
+// load balancing of RFC 1794 that the paper's §2.3 identifies as the
+// reason IP-based coalescing breaks.
+type Authority struct {
+	mu      sync.Mutex
+	records map[string][]RR // canonical name -> records
+	rotate  int             // global rotation cursor (LB VIP pool)
+	// Rotation enables per-query round-robin of address answers.
+	Rotation bool
+	// AnswerLimit caps returned address records per answer (0 = all).
+	AnswerLimit int
+
+	queries int64
+}
+
+// NewAuthority returns an empty authoritative server.
+func NewAuthority() *Authority {
+	return &Authority{
+		records: make(map[string][]RR),
+	}
+}
+
+// AddA registers IPv4 addresses for a name.
+func (a *Authority) AddA(name string, addrs ...netip.Addr) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := canonicalName(name)
+	for _, ip := range addrs {
+		a.records[n] = append(a.records[n], RR{Name: n, Type: TypeA, Class: ClassINET, TTL: 300, Addr: ip})
+	}
+}
+
+// AddAAAA registers IPv6 addresses for a name.
+func (a *Authority) AddAAAA(name string, addrs ...netip.Addr) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := canonicalName(name)
+	for _, ip := range addrs {
+		a.records[n] = append(a.records[n], RR{Name: n, Type: TypeAAAA, Class: ClassINET, TTL: 300, Addr: ip})
+	}
+}
+
+// AddCNAME registers an alias.
+func (a *Authority) AddCNAME(name, target string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := canonicalName(name)
+	a.records[n] = append(a.records[n], RR{Name: n, Type: TypeCNAME, Class: ClassINET, TTL: 300, Target: canonicalName(target)})
+}
+
+// SetA replaces all A records for a name; used by deployments that move
+// hostnames between addresses (the paper's §5.2 single-IP alignment and
+// its §5.3 rollback).
+func (a *Authority) SetA(name string, addrs ...netip.Addr) {
+	a.mu.Lock()
+	n := canonicalName(name)
+	var kept []RR
+	for _, rr := range a.records[n] {
+		if rr.Type != TypeA {
+			kept = append(kept, rr)
+		}
+	}
+	a.records[n] = kept
+	a.mu.Unlock()
+	a.AddA(name, addrs...)
+}
+
+// Queries reports how many queries this authority has answered.
+func (a *Authority) Queries() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queries
+}
+
+// HandleWire answers a wire-format query with a wire-format response.
+func (a *Authority) HandleWire(query []byte) ([]byte, error) {
+	q, err := Unpack(query)
+	if err != nil {
+		resp := &Message{Header: Header{QR: true, Rcode: RcodeFormatError}}
+		return resp.Pack()
+	}
+	resp := a.Handle(q)
+	return resp.Pack()
+}
+
+// Handle answers a parsed query.
+func (a *Authority) Handle(q *Message) *Message {
+	a.mu.Lock()
+	a.queries++
+	a.mu.Unlock()
+
+	resp := &Message{Header: Header{
+		ID: q.Header.ID, QR: true, AA: true, RD: q.Header.RD, RA: false,
+	}}
+	resp.Questions = q.Questions
+	if len(q.Questions) == 0 {
+		resp.Header.Rcode = RcodeFormatError
+		return resp
+	}
+	question := q.Questions[0]
+	answers, found := a.resolve(question.Name, question.Type, 0)
+	if !found {
+		resp.Header.Rcode = RcodeNameError
+		return resp
+	}
+	resp.Answers = answers
+	return resp
+}
+
+// resolve follows CNAME chains up to depth 8 and applies rotation.
+func (a *Authority) resolve(name string, typ uint16, depth int) ([]RR, bool) {
+	if depth > 8 {
+		return nil, false
+	}
+	a.mu.Lock()
+	n := canonicalName(name)
+	rrs, ok := a.records[n]
+	if !ok {
+		a.mu.Unlock()
+		return nil, false
+	}
+	var answers, addrs []RR
+	var cname *RR
+	for i := range rrs {
+		rr := rrs[i]
+		switch {
+		case rr.Type == typ:
+			addrs = append(addrs, rr)
+		case rr.Type == TypeCNAME:
+			cname = &rr
+		}
+	}
+	if len(addrs) > 0 {
+		if a.Rotation && len(addrs) > 1 {
+			k := a.rotate % len(addrs)
+			a.rotate++
+			rotated := make([]RR, 0, len(addrs))
+			rotated = append(rotated, addrs[k:]...)
+			rotated = append(rotated, addrs[:k]...)
+			addrs = rotated
+		}
+		if a.AnswerLimit > 0 && len(addrs) > a.AnswerLimit {
+			addrs = addrs[:a.AnswerLimit]
+		}
+		answers = append(answers, addrs...)
+		a.mu.Unlock()
+		return answers, true
+	}
+	a.mu.Unlock()
+	if cname != nil {
+		chain, ok := a.resolve(cname.Target, typ, depth+1)
+		if !ok {
+			// The alias exists even if the target does not resolve.
+			return []RR{*cname}, true
+		}
+		return append([]RR{*cname}, chain...), true
+	}
+	// Name exists with other record types: NOERROR, empty answer.
+	return nil, true
+}

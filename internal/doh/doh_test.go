@@ -1,0 +1,170 @@
+package doh
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"respectorigin/internal/dns"
+	"respectorigin/internal/h2"
+	"respectorigin/internal/hpack"
+)
+
+func startDoH(t *testing.T) (*Client, *Handler, func()) {
+	t.Helper()
+	auth := dns.NewAuthority()
+	auth.AddA("www.example.com", netip.MustParseAddr("192.0.2.10"), netip.MustParseAddr("192.0.2.11"))
+	auth.AddAAAA("www.example.com", netip.MustParseAddr("2001:db8::10"))
+	auth.AddCNAME("alias.example.com", "www.example.com")
+
+	handler := &Handler{Authority: auth}
+	srv := &h2.Server{Handler: handler}
+	cn, sn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(sn)
+		close(done)
+	}()
+	cc, err := h2.NewClientConn(cn, h2.ClientConnOptions{Origin: "doh.resolver.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(cc, "doh.resolver.example")
+	return client, handler, func() {
+		cc.Close()
+		<-done
+	}
+}
+
+func TestLookupAOverDoH(t *testing.T) {
+	client, handler, stop := startDoH(t)
+	defer stop()
+
+	addrs, err := client.LookupA("www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != netip.MustParseAddr("192.0.2.10") {
+		t.Errorf("addrs = %v", addrs)
+	}
+	if client.Queries() != 1 || handler.Served() != 1 {
+		t.Errorf("counters: client=%d server=%d", client.Queries(), handler.Served())
+	}
+}
+
+func TestLookupAAAAAndCNAME(t *testing.T) {
+	client, _, stop := startDoH(t)
+	defer stop()
+
+	v6, err := client.LookupAAAA("www.example.com")
+	if err != nil || len(v6) != 1 {
+		t.Fatalf("AAAA = %v, %v", v6, err)
+	}
+	via, err := client.LookupA("alias.example.com")
+	if err != nil || len(via) != 2 {
+		t.Fatalf("CNAME chase = %v, %v", via, err)
+	}
+}
+
+func TestNXDomainOverDoH(t *testing.T) {
+	client, _, stop := startDoH(t)
+	defer stop()
+	_, err := client.LookupA("missing.example.com")
+	if _, ok := err.(*dns.NXDomainError); !ok {
+		t.Errorf("want NXDomainError, got %v", err)
+	}
+}
+
+func TestConcurrentQueriesMultiplex(t *testing.T) {
+	client, handler, stop := startDoH(t)
+	defer stop()
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.LookupA("www.example.com"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if handler.Served() != 30 {
+		t.Errorf("served = %d", handler.Served())
+	}
+}
+
+func TestGETQueryPath(t *testing.T) {
+	client, _, stop := startDoH(t)
+	defer stop()
+
+	q := &dns.Message{
+		Header:    dns.Header{RD: true},
+		Questions: []dns.Question{{Name: "www.example.com", Type: dns.TypeA, Class: dns.ClassINET}},
+	}
+	path, err := EncodeGETPath(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.cc.RoundTrip(&h2.Request{
+		Method: "GET", Scheme: "https", Authority: "doh.resolver.example", Path: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	msg, err := dns.Unpack(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Answers) != 2 {
+		t.Errorf("answers = %v", msg.Answers)
+	}
+}
+
+func TestRejectsWrongContentType(t *testing.T) {
+	client, _, stop := startDoH(t)
+	defer stop()
+	resp, err := client.cc.RoundTrip(&h2.Request{
+		Method: "POST", Scheme: "https", Authority: "doh.resolver.example", Path: Path,
+		Header: []hpack.HeaderField{{Name: "content-type", Value: "text/plain"}},
+		Body:   []byte("not dns"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 415 {
+		t.Errorf("status = %d, want 415", resp.Status)
+	}
+}
+
+func TestRejectsWrongPathAndMethod(t *testing.T) {
+	client, _, stop := startDoH(t)
+	defer stop()
+	resp, _ := client.cc.RoundTrip(&h2.Request{
+		Method: "GET", Scheme: "https", Authority: "doh.resolver.example", Path: "/other",
+	})
+	if resp.Status != 404 {
+		t.Errorf("wrong path status = %d", resp.Status)
+	}
+	resp, _ = client.cc.RoundTrip(&h2.Request{
+		Method: "DELETE", Scheme: "https", Authority: "doh.resolver.example", Path: Path,
+	})
+	if resp.Status != 405 {
+		t.Errorf("wrong method status = %d", resp.Status)
+	}
+	resp, _ = client.cc.RoundTrip(&h2.Request{
+		Method: "GET", Scheme: "https", Authority: "doh.resolver.example", Path: Path + "?dns=!!!bad",
+	})
+	if resp.Status != 400 {
+		t.Errorf("bad base64 status = %d", resp.Status)
+	}
+}

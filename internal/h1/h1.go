@@ -1,0 +1,291 @@
+// Package h1 is a minimal HTTP/1.1 implementation (RFC 9112): a
+// keep-alive server and a persistent-connection client over any
+// net.Conn.
+//
+// It exists as the baseline the paper's background contrasts with
+// (§1–2): HTTP/1.1 processes one request per connection at a time, so
+// pages shard resources across hostnames to trick browsers into opening
+// parallel connections — exactly the practice connection coalescing
+// unwinds. The benchmarks race this substrate against the h2 package on
+// identical workloads.
+package h1
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// maxHeaderBytes bounds request/response header sections.
+const maxHeaderBytes = 1 << 20
+
+// Request is a parsed HTTP/1.1 request.
+type Request struct {
+	Method string
+	Target string
+	Proto  string
+	Header map[string]string // lower-cased field names
+	Body   []byte
+	Host   string
+}
+
+// Response is a parsed HTTP/1.1 response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// Handler responds to requests.
+type Handler interface {
+	ServeHTTP1(w *ResponseWriter, r *Request)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(w *ResponseWriter, r *Request)
+
+// ServeHTTP1 calls f.
+func (f HandlerFunc) ServeHTTP1(w *ResponseWriter, r *Request) { f(w, r) }
+
+// Server serves HTTP/1.1 connections.
+type Server struct {
+	Handler Handler
+}
+
+// ServeConn handles one keep-alive connection until EOF, "Connection:
+// close", or a parse error.
+func (s *Server) ServeConn(nc net.Conn) error {
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		w := &ResponseWriter{bw: bw}
+		s.Handler.ServeHTTP1(w, req)
+		if err := w.finish(); err != nil {
+			return err
+		}
+		if strings.EqualFold(req.Header["connection"], "close") {
+			return nil
+		}
+	}
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("h1: malformed request line %q", line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2], Header: map[string]string{}}
+	if req.Proto != "HTTP/1.1" && req.Proto != "HTTP/1.0" {
+		return nil, fmt.Errorf("h1: unsupported protocol %q", req.Proto)
+	}
+	if err := readHeaders(br, req.Header); err != nil {
+		return nil, err
+	}
+	req.Host = req.Header["host"]
+	if req.Host == "" && req.Proto == "HTTP/1.1" {
+		return nil, errors.New("h1: HTTP/1.1 request without Host")
+	}
+	if cl := req.Header["content-length"]; cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("h1: bad content-length %q", cl)
+		}
+		req.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, req.Body); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// ResponseWriter accumulates one response.
+type ResponseWriter struct {
+	bw     *bufio.Writer
+	status int
+	header map[string]string
+	body   bytes.Buffer
+}
+
+// WriteHeader sets the status code; the first call wins.
+func (w *ResponseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+// SetHeader sets a response header field.
+func (w *ResponseWriter) SetHeader(name, value string) {
+	if w.header == nil {
+		w.header = map[string]string{}
+	}
+	w.header[strings.ToLower(name)] = value
+}
+
+// Write appends body bytes (buffered; Content-Length framing).
+func (w *ResponseWriter) Write(p []byte) (int, error) { return w.body.Write(p) }
+
+func (w *ResponseWriter) finish() error {
+	if w.status == 0 {
+		w.status = 200
+	}
+	fmt.Fprintf(w.bw, "HTTP/1.1 %d %s\r\n", w.status, statusText(w.status))
+	keys := make([]string, 0, len(w.header))
+	for k := range w.header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w.bw, "%s: %s\r\n", k, w.header[k])
+	}
+	fmt.Fprintf(w.bw, "content-length: %d\r\n\r\n", w.body.Len())
+	if _, err := w.bw.Write(w.body.Bytes()); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Client is a persistent HTTP/1.1 connection. Requests are strictly
+// sequential: HTTP/1.1 has no multiplexing, which is the whole point
+// of the comparison.
+type Client struct {
+	mu sync.Mutex
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Get performs a blocking GET; the next request cannot start until the
+// response fully arrives (head-of-line blocking by construction).
+func (c *Client) Get(host, path string) (*Response, error) {
+	return c.Do("GET", host, path, nil)
+}
+
+// Do performs one request/response exchange.
+func (c *Client) Do(method, host, path string, body []byte) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.bw, "%s %s HTTP/1.1\r\nhost: %s\r\n", method, path, host)
+	if len(body) > 0 {
+		fmt.Fprintf(c.bw, "content-length: %d\r\n", len(body))
+	}
+	io.WriteString(c.bw, "\r\n")
+	c.bw.Write(body)
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return readResponse(c.br)
+}
+
+func readResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("h1: malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("h1: bad status %q", parts[1])
+	}
+	resp := &Response{Status: status, Header: map[string]string{}}
+	if err := readHeaders(br, resp.Header); err != nil {
+		return nil, err
+	}
+	if cl := resp.Header["content-length"]; cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("h1: bad content-length %q", cl)
+		}
+		resp.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, resp.Body); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+func readHeaders(br *bufio.Reader, dst map[string]string) error {
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line == "" {
+			return nil
+		}
+		total += len(line)
+		if total > maxHeaderBytes {
+			return errors.New("h1: header section too large")
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return fmt.Errorf("h1: malformed header %q", line)
+		}
+		name := strings.ToLower(strings.TrimSpace(line[:i]))
+		dst[name] = strings.TrimSpace(line[i+1:])
+	}
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return "", io.EOF
+		}
+		if err == io.EOF {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 421:
+		return "Misdirected Request"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}

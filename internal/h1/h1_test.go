@@ -1,0 +1,208 @@
+package h1
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func startH1(t *testing.T, h Handler) (*Client, func()) {
+	t.Helper()
+	cn, sn := net.Pipe()
+	done := make(chan error, 1)
+	srv := &Server{Handler: h}
+	go func() { done <- srv.ServeConn(sn) }()
+	c := NewClient(cn)
+	return c, func() {
+		c.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Error("server did not exit")
+		}
+	}
+}
+
+func echo() Handler {
+	return HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.SetHeader("content-type", "text/plain")
+		w.SetHeader("x-host", r.Host)
+		fmt.Fprintf(w, "%s %s", r.Method, r.Target)
+		w.Write(r.Body)
+	})
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	c, stop := startH1(t, echo())
+	defer stop()
+	resp, err := c.Get("www.example.com", "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "GET /page" {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if resp.Header["x-host"] != "www.example.com" {
+		t.Errorf("x-host = %q", resp.Header["x-host"])
+	}
+}
+
+func TestKeepAliveSequentialRequests(t *testing.T) {
+	c, stop := startH1(t, echo())
+	defer stop()
+	for i := 0; i < 20; i++ {
+		path := fmt.Sprintf("/req/%d", i)
+		resp, err := c.Get("h.example", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != "GET "+path {
+			t.Fatalf("body = %q", resp.Body)
+		}
+	}
+}
+
+func TestPostBody(t *testing.T) {
+	c, stop := startH1(t, echo())
+	defer stop()
+	body := strings.Repeat("d", 5000)
+	resp, err := c.Do("POST", "h.example", "/up", []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "POST /up"+body {
+		t.Errorf("body len = %d", len(resp.Body))
+	}
+}
+
+func TestMissingHostRejected(t *testing.T) {
+	cn, sn := net.Pipe()
+	srv := &Server{Handler: echo()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ServeConn(sn) }()
+	fmt.Fprintf(cn, "GET / HTTP/1.1\r\n\r\n")
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("host-less HTTP/1.1 request accepted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("server hung")
+	}
+	cn.Close()
+}
+
+func TestMalformedRequestLine(t *testing.T) {
+	for _, bad := range []string{"GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / SPDY/3\r\n\r\n"} {
+		br := bufio.NewReader(strings.NewReader(bad))
+		if _, err := ReadRequest(br); err == nil {
+			t.Errorf("ReadRequest(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestBadContentLength(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader("GET / HTTP/1.1\r\nhost: x\r\ncontent-length: -5\r\n\r\n"))
+	if _, err := ReadRequest(br); err == nil {
+		t.Error("negative content-length accepted")
+	}
+	br = bufio.NewReader(strings.NewReader("GET / HTTP/1.1\r\nhost: x\r\ncontent-length: abc\r\n\r\n"))
+	if _, err := ReadRequest(br); err == nil {
+		t.Error("non-numeric content-length accepted")
+	}
+}
+
+func TestConnectionClose(t *testing.T) {
+	cn, sn := net.Pipe()
+	srv := &Server{Handler: echo()}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sn) }()
+	c := NewClient(cn)
+	fmt.Fprintf(c.bw, "GET / HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+	c.bw.Flush()
+	resp, err := readResponse(c.br)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp = %v err = %v", resp, err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("server exit = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("server ignored connection: close")
+	}
+	cn.Close()
+}
+
+func TestHeaderRoundTripQuick(t *testing.T) {
+	f := func(rawName, rawValue string) bool {
+		name := sanitizeToken(rawName)
+		value := sanitizeValue(rawValue)
+		if name == "" {
+			return true
+		}
+		input := fmt.Sprintf("GET / HTTP/1.1\r\nhost: h\r\n%s: %s\r\n\r\n", name, value)
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(input)))
+		if err != nil {
+			return false
+		}
+		return req.Header[strings.ToLower(name)] == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '-' {
+			b.WriteRune(r)
+		}
+		if b.Len() >= 30 {
+			break
+		}
+	}
+	return b.String()
+}
+
+func sanitizeValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x21 && r <= 0x7e && r != ':' {
+			b.WriteRune(r)
+		}
+		if b.Len() >= 60 {
+			break
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestHeadOfLineBlockingByConstruction(t *testing.T) {
+	// A slow response delays the next request on the same connection —
+	// the §1 motivation for sharding.
+	slow := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Target == "/slow" {
+			time.Sleep(60 * time.Millisecond)
+		}
+		w.Write([]byte(r.Target))
+	})
+	c, stop := startH1(t, slow)
+	defer stop()
+	start := time.Now()
+	if _, err := c.Get("h.example", "/slow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("h.example", "/fast"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("requests overlapped: %v", elapsed)
+	}
+}

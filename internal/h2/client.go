@@ -1,0 +1,628 @@
+package h2
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+
+	"respectorigin/internal/hpack"
+)
+
+// A Response is a fully received HTTP/2 response.
+type Response struct {
+	Status   int
+	Header   []hpack.HeaderField
+	Body     []byte
+	StreamID uint32
+}
+
+// HeaderValue returns the first value of the named regular header.
+func (r *Response) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// ClientConnOptions configures NewClientConn.
+type ClientConnOptions struct {
+	// Origin is the origin this connection was established for
+	// (hostname or https:// origin). It seeds the origin set.
+	Origin string
+
+	// VerifyOrigin, when non-nil, reports whether the connection's
+	// certificate covers the given hostname. RFC 8336 §2.4 requires
+	// clients to use an origin-set member only when the connection is
+	// authoritative for it, which in practice means a certificate SAN
+	// check. When nil and the conn is a *tls.Conn, the leaf
+	// certificate's VerifyHostname is used; otherwise every name in the
+	// origin set is trusted (useful for in-memory simulations).
+	VerifyOrigin func(host string) bool
+
+	// IgnoreOriginFrames makes the client drop ORIGIN frames, modelling
+	// browsers without client-side support (every browser but Firefox,
+	// per the paper).
+	IgnoreOriginFrames bool
+
+	// OnOrigin, when non-nil, is invoked with the contents of every
+	// ORIGIN frame accepted on the connection.
+	OnOrigin func(origins []string)
+
+	// DisableHuffman turns off Huffman coding of request headers.
+	DisableHuffman bool
+
+	// MaxFrameSize advertises SETTINGS_MAX_FRAME_SIZE; 0 means 16384.
+	MaxFrameSize uint32
+}
+
+// A ClientConn is the client side of an HTTP/2 connection. Its methods
+// are safe for concurrent use; requests on one connection are
+// multiplexed over streams.
+type ClientConn struct {
+	nc   net.Conn
+	aw   *asyncWriter
+	fr   *Framer
+	opts ClientConnOptions
+
+	hwmu sync.Mutex
+	hw   *headerWriter
+	hr   *headerReader
+
+	sendFlow *sendFlow
+	recvFlow *recvFlow
+
+	mu             sync.Mutex
+	nextStreamID   uint32
+	streams        map[uint32]*clientStream
+	maxSendFrame   uint32
+	peerMaxStreams uint32
+	closed         bool
+	connErr        error
+
+	originSet        *OriginSet
+	originFramesSeen int
+	altSvcs          []AltSvc
+
+	pingMu   sync.Mutex
+	pingWait map[[8]byte]chan struct{}
+
+	readerDone chan struct{}
+}
+
+// AltSvc is an alternative-service advertisement received on the
+// connection (RFC 7838).
+type AltSvc struct {
+	Origin     string
+	FieldValue string
+}
+
+type clientStream struct {
+	id   uint32
+	resp Response
+	done chan struct{}
+	err  error
+}
+
+// NewClientConn performs the client half of the HTTP/2 connection
+// preface on nc and starts the read loop.
+func NewClientConn(nc net.Conn, opts ClientConnOptions) (*ClientConn, error) {
+	aw := newAsyncWriter(nc)
+	cc := &ClientConn{
+		nc:             nc,
+		aw:             aw,
+		fr:             NewFramer(aw, nc),
+		opts:           opts,
+		sendFlow:       newSendFlow(),
+		recvFlow:       newRecvFlow(),
+		nextStreamID:   1,
+		streams:        make(map[uint32]*clientStream),
+		maxSendFrame:   minMaxFrameSize,
+		peerMaxStreams: ^uint32(0),
+		originSet:      NewOriginSet(),
+		pingWait:       make(map[[8]byte]chan struct{}),
+		readerDone:     make(chan struct{}),
+	}
+	cc.hw = &headerWriter{fr: cc.fr, enc: hpack.NewEncoder(), maxFrameSize: minMaxFrameSize}
+	if opts.DisableHuffman {
+		cc.hw.enc.SetHuffman(false)
+	}
+	cc.hr = &headerReader{dec: hpack.NewDecoder()}
+	if opts.Origin != "" {
+		cc.originSet.Add(opts.Origin)
+	}
+
+	if _, err := io.WriteString(nc, ClientPreface); err != nil {
+		return nil, err
+	}
+	mfs := opts.MaxFrameSize
+	if mfs == 0 {
+		mfs = minMaxFrameSize
+	}
+	cc.fr.SetMaxReadFrameSize(mfs)
+	// Start reading before sending SETTINGS: over fully synchronous
+	// transports (net.Pipe) the server's preface write would otherwise
+	// deadlock against ours.
+	go cc.readLoop()
+	if err := cc.fr.WriteSettings(
+		Setting{SettingEnablePush, 0},
+		Setting{SettingMaxFrameSize, mfs},
+	); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// OriginSet returns the connection's origin set: the connection's own
+// origin plus any origins advertised by the server via ORIGIN frames.
+func (cc *ClientConn) OriginSet() *OriginSet { return cc.originSet }
+
+// OriginFramesSeen reports how many ORIGIN frames were accepted.
+func (cc *ClientConn) OriginFramesSeen() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.originFramesSeen
+}
+
+// CanRequest reports whether this connection may be coalesced for host:
+// the host's https origin must be in the origin set and the connection
+// must be authoritative for it (certificate SAN coverage).
+func (cc *ClientConn) CanRequest(host string) bool {
+	origin, err := CanonicalOrigin(host)
+	if err != nil {
+		return false
+	}
+	if !cc.originSet.Contains(origin) {
+		return false
+	}
+	return cc.verifyHost(OriginHost(origin))
+}
+
+func (cc *ClientConn) verifyHost(host string) bool {
+	if cc.opts.VerifyOrigin != nil {
+		return cc.opts.VerifyOrigin(host)
+	}
+	if tc, ok := cc.nc.(*tls.Conn); ok {
+		cs := tc.ConnectionState()
+		if len(cs.PeerCertificates) == 0 {
+			return false
+		}
+		return cs.PeerCertificates[0].VerifyHostname(host) == nil
+	}
+	return true
+}
+
+// RoundTrip sends req and waits for the complete response.
+func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
+	cs, err := cc.startRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	<-cs.done
+	if cs.err != nil {
+		return nil, cs.err
+	}
+	resp := cs.resp
+	resp.StreamID = cs.id
+	return &resp, nil
+}
+
+// Get issues a simple GET for the given authority and path.
+func (cc *ClientConn) Get(authority, path string) (*Response, error) {
+	return cc.RoundTrip(&Request{Method: "GET", Scheme: "https", Authority: authority, Path: path})
+}
+
+func (cc *ClientConn) startRequest(req *Request) (*clientStream, error) {
+	fields := make([]hpack.HeaderField, 0, len(req.Header)+4)
+	fields = append(fields,
+		hpack.HeaderField{Name: ":method", Value: req.Method},
+		hpack.HeaderField{Name: ":scheme", Value: req.Scheme},
+	)
+	if req.Authority != "" {
+		fields = append(fields, hpack.HeaderField{Name: ":authority", Value: req.Authority})
+	}
+	fields = append(fields, hpack.HeaderField{Name: ":path", Value: req.Path})
+	fields = append(fields, req.Header...)
+
+	cc.mu.Lock()
+	if cc.closed {
+		err := cc.connErr
+		cc.mu.Unlock()
+		if err == nil {
+			err = errors.New("h2: client connection closed")
+		}
+		return nil, err
+	}
+	id := cc.nextStreamID
+	cc.nextStreamID += 2
+	cs := &clientStream{id: id, done: make(chan struct{})}
+	cc.streams[id] = cs
+	cc.mu.Unlock()
+	cc.sendFlow.openStream(id)
+
+	endStream := len(req.Body) == 0
+
+	// Hold the header-writer lock across the HEADERS(+CONTINUATION)
+	// sequence so HPACK state and stream-ID ordering stay consistent.
+	cc.hwmu.Lock()
+	err := cc.hw.writeHeaders(id, fields, endStream)
+	cc.hwmu.Unlock()
+	if err != nil {
+		cc.abortStream(cs, err)
+		return cs, err
+	}
+	if !endStream {
+		if err := cc.writeBody(cs, req.Body); err != nil {
+			cc.abortStream(cs, err)
+			return cs, err
+		}
+	}
+	return cs, nil
+}
+
+func (cc *ClientConn) writeBody(cs *clientStream, body []byte) error {
+	for {
+		cc.mu.Lock()
+		maxFrame := int64(cc.maxSendFrame)
+		cc.mu.Unlock()
+		want := int64(len(body))
+		if want > maxFrame {
+			want = maxFrame
+		}
+		n := cc.sendFlow.take(cs.id, want)
+		if n == 0 && len(body) > 0 {
+			return fmt.Errorf("h2: stream %d closed while sending body", cs.id)
+		}
+		end := int(n) == len(body)
+		if err := cc.fr.WriteData(cs.id, end, body[:n]); err != nil {
+			return err
+		}
+		body = body[n:]
+		if end {
+			return nil
+		}
+	}
+}
+
+func (cc *ClientConn) abortStream(cs *clientStream, err error) {
+	cc.mu.Lock()
+	if _, ok := cc.streams[cs.id]; ok {
+		delete(cc.streams, cs.id)
+		cs.err = err
+		close(cs.done)
+	}
+	cc.mu.Unlock()
+	cc.sendFlow.closeStream(cs.id)
+}
+
+func (cc *ClientConn) finishStream(cs *clientStream) {
+	cc.mu.Lock()
+	if _, ok := cc.streams[cs.id]; ok {
+		delete(cc.streams, cs.id)
+		close(cs.done)
+	}
+	cc.mu.Unlock()
+	cc.sendFlow.closeStream(cs.id)
+}
+
+// Close tears down the connection, sending GOAWAY(NO_ERROR) first.
+func (cc *ClientConn) Close() error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	last := cc.nextStreamID - 2
+	cc.mu.Unlock()
+	_ = cc.fr.WriteGoAway(last, ErrCodeNo, nil)
+	_ = cc.aw.Close()
+	err := cc.nc.Close()
+	<-cc.readerDone
+	return err
+}
+
+// AltSvcs returns the alternative services advertised on the
+// connection so far.
+func (cc *ClientConn) AltSvcs() []AltSvc {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return append([]AltSvc(nil), cc.altSvcs...)
+}
+
+// Ping sends a PING frame and blocks until its acknowledgement arrives
+// or the connection fails, measuring connection liveness.
+func (cc *ClientConn) Ping(data [8]byte) error {
+	ch := make(chan struct{})
+	cc.pingMu.Lock()
+	if _, dup := cc.pingWait[data]; dup {
+		cc.pingMu.Unlock()
+		return errors.New("h2: ping with duplicate payload in flight")
+	}
+	cc.pingWait[data] = ch
+	cc.pingMu.Unlock()
+	if err := cc.fr.WritePing(false, data); err != nil {
+		cc.pingMu.Lock()
+		delete(cc.pingWait, data)
+		cc.pingMu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-cc.readerDone:
+		return errors.New("h2: connection closed before ping ack")
+	}
+}
+
+// Err returns the fatal connection error, if any.
+func (cc *ClientConn) Err() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.connErr
+}
+
+func (cc *ClientConn) readLoop() {
+	defer close(cc.readerDone)
+	err := cc.readFrames()
+	cc.sendFlow.close()
+	cc.mu.Lock()
+	cc.closed = true
+	if cc.connErr == nil {
+		cc.connErr = err
+	}
+	streams := cc.streams
+	cc.streams = make(map[uint32]*clientStream)
+	cc.mu.Unlock()
+	for _, cs := range streams {
+		cs.err = err
+		if cs.err == nil {
+			cs.err = io.ErrUnexpectedEOF
+		}
+		close(cs.done)
+	}
+	if ce, ok := err.(ConnectionError); ok {
+		_ = cc.fr.WriteGoAway(0, ce.Code, []byte(ce.Reason))
+		_ = cc.nc.Close()
+	}
+}
+
+func (cc *ClientConn) readFrames() error {
+	for {
+		f, err := cc.fr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if cc.hr.expectingContinuation() {
+			cf, ok := f.(*ContinuationFrame)
+			if !ok {
+				return connError(ErrCodeProtocol, "expected CONTINUATION")
+			}
+			meta, err := cc.hr.onContinuation(cf)
+			if err != nil {
+				return err
+			}
+			if meta != nil {
+				if err := cc.onResponseHeaders(meta); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := cc.dispatch(f); err != nil {
+			if se, ok := err.(StreamError); ok {
+				cc.failStream(se.StreamID, se)
+				_ = cc.fr.WriteRSTStream(se.StreamID, se.Code)
+				continue
+			}
+			return err
+		}
+	}
+}
+
+func (cc *ClientConn) dispatch(f Frame) error {
+	switch f := f.(type) {
+	case *HeadersFrame:
+		meta, err := cc.hr.onHeaders(f)
+		if err != nil {
+			return err
+		}
+		if meta != nil {
+			return cc.onResponseHeaders(meta)
+		}
+		return nil
+	case *DataFrame:
+		return cc.onData(f)
+	case *SettingsFrame:
+		return cc.onSettings(f)
+	case *PingFrame:
+		if f.IsAck() {
+			cc.pingMu.Lock()
+			if ch, ok := cc.pingWait[f.Data]; ok {
+				delete(cc.pingWait, f.Data)
+				close(ch)
+			}
+			cc.pingMu.Unlock()
+			return nil
+		}
+		return cc.fr.WritePing(true, f.Data)
+	case *WindowUpdateFrame:
+		if !cc.sendFlow.add(f.StreamID, int64(f.Increment)) {
+			if f.StreamID == 0 {
+				return connError(ErrCodeFlowControl, "connection window overflow")
+			}
+			return streamError(f.StreamID, ErrCodeFlowControl, "stream window overflow")
+		}
+		return nil
+	case *RSTStreamFrame:
+		cc.failStream(f.StreamID, streamError(f.StreamID, f.ErrCode, "reset by peer"))
+		return nil
+	case *GoAwayFrame:
+		return cc.onGoAway(f)
+	case *OriginFrame:
+		return cc.onOrigin(f)
+	case *AltSvcFrame:
+		cc.mu.Lock()
+		cc.altSvcs = append(cc.altSvcs, AltSvc{Origin: f.Origin, FieldValue: f.FieldValue})
+		cc.mu.Unlock()
+		return nil
+	case *PushPromiseFrame:
+		// We advertised ENABLE_PUSH=0; a PUSH_PROMISE is a protocol error.
+		return connError(ErrCodeProtocol, "PUSH_PROMISE with push disabled")
+	case *PriorityFrame, *ContinuationFrame:
+		return nil
+	default:
+		return nil // ignore unknown extension frames (§4.1)
+	}
+}
+
+// onGoAway handles graceful and abrupt shutdown (RFC 9113 §6.8):
+// streams above the last-stream-id are failed so callers can retry
+// elsewhere; streams at or below it continue to completion. With
+// NO_ERROR the connection stays open for those in-flight streams and
+// only stops accepting new requests; any other code is fatal.
+func (cc *ClientConn) onGoAway(f *GoAwayFrame) error {
+	gerr := GoAwayError{LastStreamID: f.LastStreamID, Code: f.ErrCode, DebugData: string(f.DebugData)}
+	cc.mu.Lock()
+	cc.closed = true // no new requests
+	if cc.connErr == nil {
+		cc.connErr = gerr
+	}
+	var refused []*clientStream
+	for id, cs := range cc.streams {
+		if id > f.LastStreamID {
+			refused = append(refused, cs)
+			delete(cc.streams, id)
+		}
+	}
+	cc.mu.Unlock()
+	for _, cs := range refused {
+		cs.err = gerr
+		close(cs.done)
+		cc.sendFlow.closeStream(cs.id)
+	}
+	if f.ErrCode != ErrCodeNo {
+		return gerr
+	}
+	return nil // keep reading: in-flight streams will still complete
+}
+
+// onOrigin applies RFC 8336 client rules: frames on a non-zero stream
+// are ignored, flagged frames' flags are ignored, and clients that do
+// not support the extension drop the frame entirely (fail-open).
+func (cc *ClientConn) onOrigin(f *OriginFrame) error {
+	if f.StreamID != 0 {
+		return nil // §2.1: MUST be ignored
+	}
+	if cc.opts.IgnoreOriginFrames {
+		return nil
+	}
+	cc.originSet.Replace(f.Origins)
+	if cc.opts.Origin != "" {
+		cc.originSet.Add(cc.opts.Origin)
+	}
+	cc.mu.Lock()
+	cc.originFramesSeen++
+	cc.mu.Unlock()
+	if cc.opts.OnOrigin != nil {
+		cc.opts.OnOrigin(f.Origins)
+	}
+	return nil
+}
+
+func (cc *ClientConn) onSettings(f *SettingsFrame) error {
+	if f.IsAck() {
+		return nil
+	}
+	for _, s := range f.Settings {
+		switch s.ID {
+		case SettingInitialWindowSize:
+			if !cc.sendFlow.setInitial(int64(s.Val)) {
+				return connError(ErrCodeFlowControl, "initial window change overflows stream window")
+			}
+		case SettingMaxFrameSize:
+			cc.mu.Lock()
+			cc.maxSendFrame = s.Val
+			cc.mu.Unlock()
+			cc.hwmu.Lock()
+			cc.hw.maxFrameSize = s.Val
+			cc.hwmu.Unlock()
+		case SettingHeaderTableSize:
+			cc.hwmu.Lock()
+			cc.hw.enc.SetMaxDynamicTableSize(s.Val)
+			cc.hwmu.Unlock()
+		case SettingMaxConcurrentStreams:
+			cc.mu.Lock()
+			cc.peerMaxStreams = s.Val
+			cc.mu.Unlock()
+		}
+	}
+	return cc.fr.WriteSettingsAck()
+}
+
+func (cc *ClientConn) onData(f *DataFrame) error {
+	inc, ok := cc.recvFlow.consume(int64(f.Length))
+	if !ok {
+		return connError(ErrCodeFlowControl, "peer exceeded connection window")
+	}
+	if inc > 0 {
+		if err := cc.fr.WriteWindowUpdate(0, uint32(inc)); err != nil {
+			return err
+		}
+	}
+	cc.mu.Lock()
+	cs := cc.streams[f.StreamID]
+	cc.mu.Unlock()
+	if cs == nil {
+		return streamError(f.StreamID, ErrCodeStreamClosed, "DATA on unknown stream")
+	}
+	cs.resp.Body = append(cs.resp.Body, f.Data...)
+	if f.Length > 0 {
+		if err := cc.fr.WriteWindowUpdate(f.StreamID, f.Length); err != nil {
+			return err
+		}
+	}
+	if f.Flags.Has(FlagEndStream) {
+		cc.finishStream(cs)
+	}
+	return nil
+}
+
+func (cc *ClientConn) onResponseHeaders(meta *MetaHeadersFrame) error {
+	cc.mu.Lock()
+	cs := cc.streams[meta.StreamID]
+	cc.mu.Unlock()
+	if cs == nil {
+		return streamError(meta.StreamID, ErrCodeStreamClosed, "HEADERS on unknown stream")
+	}
+	statusStr := meta.PseudoValue("status")
+	status, err := strconv.Atoi(statusStr)
+	if err != nil {
+		return streamError(meta.StreamID, ErrCodeProtocol, "bad :status "+statusStr)
+	}
+	cs.resp.Status = status
+	cs.resp.Header = append(cs.resp.Header, meta.RegularFields()...)
+	if meta.EndStream() {
+		cc.finishStream(cs)
+	}
+	return nil
+}
+
+func (cc *ClientConn) failStream(id uint32, err error) {
+	cc.mu.Lock()
+	cs := cc.streams[id]
+	if cs != nil {
+		delete(cc.streams, id)
+	}
+	cc.mu.Unlock()
+	if cs != nil {
+		cs.err = err
+		close(cs.done)
+		cc.sendFlow.closeStream(id)
+	}
+}

@@ -1,0 +1,416 @@
+package h2
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"respectorigin/internal/hpack"
+)
+
+// startPair wires a Server to a ClientConn over net.Pipe and returns the
+// client plus a shutdown func.
+func startPair(t *testing.T, srv *Server, opts ClientConnOptions) (*ClientConn, func()) {
+	t.Helper()
+	cn, sn := net.Pipe()
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- srv.ServeConn(sn) }()
+	cc, err := NewClientConn(cn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, func() {
+		cc.Close()
+		select {
+		case <-serverDone:
+		case <-time.After(2 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+}
+
+func echoHandler() Handler {
+	return HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeader(200,
+			hpack.HeaderField{Name: "content-type", Value: "text/plain"},
+			hpack.HeaderField{Name: "x-authority", Value: r.Authority},
+		)
+		fmt.Fprintf(w, "%s %s", r.Method, r.Path)
+		if len(r.Body) > 0 {
+			w.Write(r.Body)
+		}
+	})
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cc, stop := startPair(t, &Server{Handler: echoHandler()}, ClientConnOptions{Origin: "example.com"})
+	defer stop()
+
+	resp, err := cc.Get("example.com", "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d", resp.Status)
+	}
+	if string(resp.Body) != "GET /hello" {
+		t.Errorf("body = %q", resp.Body)
+	}
+	if resp.HeaderValue("content-type") != "text/plain" {
+		t.Errorf("content-type = %q", resp.HeaderValue("content-type"))
+	}
+	if resp.HeaderValue("x-authority") != "example.com" {
+		t.Errorf("x-authority = %q", resp.HeaderValue("x-authority"))
+	}
+}
+
+func TestRoundTripWithBody(t *testing.T) {
+	cc, stop := startPair(t, &Server{Handler: echoHandler()}, ClientConnOptions{})
+	defer stop()
+
+	body := bytes.Repeat([]byte("q"), 10000)
+	resp, err := cc.RoundTrip(&Request{
+		Method: "POST", Scheme: "https", Authority: "example.com", Path: "/up",
+		Body: body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "POST /up" + string(body)
+	if string(resp.Body) != want {
+		t.Errorf("body len = %d, want %d", len(resp.Body), len(want))
+	}
+}
+
+func TestLargeResponseCrossesFlowControlWindow(t *testing.T) {
+	// 300 KiB response: forces multiple DATA frames, stream and
+	// connection WINDOW_UPDATE exchanges.
+	const size = 300 << 10
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write(bytes.Repeat([]byte{'z'}, size))
+	})}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+
+	resp, err := cc.Get("example.com", "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != size {
+		t.Errorf("got %d bytes, want %d", len(resp.Body), size)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	cc, stop := startPair(t, &Server{Handler: echoHandler()}, ClientConnOptions{})
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/req/%d", i)
+			resp, err := cc.Get("example.com", path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Body) != "GET "+path {
+				errs <- fmt.Errorf("bad body %q for %s", resp.Body, path)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLargeHeadersUseContinuation(t *testing.T) {
+	// A >16KiB header block must be split into HEADERS+CONTINUATION.
+	big := strings.Repeat("v", 40000)
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeader(200, hpack.HeaderField{Name: "x-big", Value: r.HeaderValue("x-big")})
+	})}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+
+	resp, err := cc.RoundTrip(&Request{
+		Method: "GET", Scheme: "https", Authority: "example.com", Path: "/",
+		Header: []hpack.HeaderField{{Name: "x-big", Value: big, Sensitive: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.HeaderValue("x-big") != big {
+		t.Errorf("x-big lost: got %d bytes", len(resp.HeaderValue("x-big")))
+	}
+}
+
+func TestOriginFrameDelivered(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	srv := &Server{
+		Handler:   echoHandler(),
+		OriginSet: []string{"shard1.example.com", "shard2.example.com"},
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{
+		Origin: "www.example.com",
+		OnOrigin: func(origins []string) {
+			mu.Lock()
+			seen = append(seen, origins...)
+			mu.Unlock()
+		},
+	})
+	defer stop()
+
+	// Any round trip guarantees the ORIGIN frame (sent before the first
+	// response) has been processed.
+	if _, err := cc.Get("www.example.com", "/"); err != nil {
+		t.Fatal(err)
+	}
+	if cc.OriginFramesSeen() != 1 {
+		t.Fatalf("origin frames seen = %d", cc.OriginFramesSeen())
+	}
+	os := cc.OriginSet()
+	for _, want := range []string{"www.example.com", "shard1.example.com", "shard2.example.com"} {
+		if !os.Contains(want) {
+			t.Errorf("origin set missing %s (have %v)", want, os.All())
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Errorf("OnOrigin saw %v", seen)
+	}
+}
+
+func TestOriginFrameIgnoredByUnsupportingClient(t *testing.T) {
+	srv := &Server{
+		Handler:   echoHandler(),
+		OriginSet: []string{"shard1.example.com"},
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{
+		Origin:             "www.example.com",
+		IgnoreOriginFrames: true,
+	})
+	defer stop()
+
+	if _, err := cc.Get("www.example.com", "/"); err != nil {
+		t.Fatal(err)
+	}
+	if cc.OriginFramesSeen() != 0 {
+		t.Error("client counted an ignored ORIGIN frame")
+	}
+	if cc.OriginSet().Contains("shard1.example.com") {
+		t.Error("ignored ORIGIN frame still populated origin set")
+	}
+}
+
+func TestCanRequestUsesOriginSetAndSANCheck(t *testing.T) {
+	srv := &Server{
+		Handler:   echoHandler(),
+		OriginSet: []string{"covered.example.com", "uncovered.example.com"},
+	}
+	certSANs := map[string]bool{
+		"www.example.com":     true,
+		"covered.example.com": true,
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{
+		Origin:       "www.example.com",
+		VerifyOrigin: func(host string) bool { return certSANs[host] },
+	})
+	defer stop()
+
+	if _, err := cc.Get("www.example.com", "/"); err != nil {
+		t.Fatal(err)
+	}
+	if !cc.CanRequest("covered.example.com") {
+		t.Error("in origin set + SAN: should be requestable")
+	}
+	if cc.CanRequest("uncovered.example.com") {
+		t.Error("in origin set but not in SAN: must not be requestable")
+	}
+	if cc.CanRequest("unrelated.example.com") {
+		t.Error("not in origin set: must not be requestable")
+	}
+}
+
+func TestMisdirectedRequestGets421(t *testing.T) {
+	srv := &Server{
+		Handler:       echoHandler(),
+		Authoritative: func(authority string) bool { return authority == "served.example.com" },
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+
+	resp, err := cc.Get("served.example.com", "/")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("authoritative request: %v %v", resp, err)
+	}
+	resp, err = cc.Get("other.example.com", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 421 {
+		t.Errorf("status = %d, want 421 Misdirected Request", resp.Status)
+	}
+}
+
+func TestUnknownExtensionFrameIgnoredEndToEnd(t *testing.T) {
+	// RFC 9113 §4.1: implementations must ignore unknown frame types.
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	go srv.ServeConn(sn)
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	if err := cc.fr.WriteRawFrame(FrameType(0xee), 0, 0, []byte("mystery")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cc.Get("example.com", "/after-unknown")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("request after unknown frame: %v %v", resp, err)
+	}
+}
+
+// nonCompliantClient models the §6.7 anti-virus middlebox that tears
+// down the TLS connection when it sees an unknown frame type instead of
+// ignoring it.
+func TestNonCompliantPeerTearsDownOnOrigin(t *testing.T) {
+	srv := &Server{
+		Handler:   echoHandler(),
+		OriginSet: []string{"shard.example.com"},
+	}
+	cn, sn := net.Pipe()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeConn(sn) }()
+
+	// Hand-rolled client: preface, SETTINGS, then read frames and kill
+	// the connection on any unknown type (ORIGIN, for this client).
+	if _, err := io.WriteString(cn, ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFramer(cn, cn)
+	if err := fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	sawOrigin := false
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("reading: %v", err)
+		}
+		if f.Header().Type == FrameOrigin {
+			sawOrigin = true
+			cn.Close() // the non-compliant teardown
+			break
+		}
+		if _, ok := f.(*SettingsFrame); ok {
+			continue
+		}
+	}
+	if !sawOrigin {
+		t.Fatal("never saw ORIGIN frame")
+	}
+	select {
+	case err := <-serverErr:
+		// The server observes an unexpected connection loss, exactly
+		// what the CDN saw as "an increased number of failed
+		// connections" in §6.7.
+		if err == nil {
+			t.Error("expected connection failure, got clean shutdown")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("server did not notice teardown")
+	}
+}
+
+func TestRefusedStreamOverConcurrencyLimit(t *testing.T) {
+	release := make(chan struct{})
+	srv := &Server{
+		MaxConcurrentStreams: 2,
+		Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+			<-release
+			w.WriteHeader(200)
+		}),
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+	defer close(release)
+
+	// Occupy both stream slots.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			cc.Get("example.com", "/slow")
+			done <- struct{}{}
+		}()
+	}
+	// Give the two streams time to open.
+	time.Sleep(50 * time.Millisecond)
+	_, err := cc.Get("example.com", "/third")
+	se, ok := err.(StreamError)
+	if !ok || se.Code != ErrCodeRefusedStream {
+		t.Errorf("third stream: err = %v, want REFUSED_STREAM", err)
+	}
+}
+
+func TestServerCounters(t *testing.T) {
+	got := make(chan ConnCounters, 1)
+	srv := &Server{
+		Handler:     echoHandler(),
+		OriginSet:   []string{"x.example.com"},
+		CountersFor: func(c ConnCounters) { got <- c },
+	}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	cc.Get("example.com", "/1")
+	cc.Get("example.com", "/2")
+	stop()
+	c := <-got
+	if c.StreamsOpened != 2 {
+		t.Errorf("streams opened = %d", c.StreamsOpened)
+	}
+	if !c.OriginAdvertised {
+		t.Error("origin not advertised")
+	}
+}
+
+func TestClientRejectsServerPush(t *testing.T) {
+	// A server violating our ENABLE_PUSH=0 must trigger a connection error.
+	cn, remote := net.Pipe()
+	go func() {
+		// Hand-rolled misbehaving server.
+		io.ReadFull(remote, make([]byte, len(ClientPreface)))
+		rfr := NewFramer(remote, remote)
+		rfr.WriteSettings()
+		rfr.WriteRawFrame(FramePushPromise, FlagEndHeaders, 1, []byte{0, 0, 0, 2})
+		io.Copy(io.Discard, remote) // drain client frames until it closes
+	}()
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for cc.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("client never errored on PUSH_PROMISE")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if ce, ok := cc.Err().(ConnectionError); !ok || ce.Code != ErrCodeProtocol {
+		t.Errorf("err = %v", cc.Err())
+	}
+}

@@ -1,0 +1,140 @@
+package h2
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClientPing(t *testing.T) {
+	cc, stop := startPair(t, &Server{Handler: echoHandler()}, ClientConnOptions{})
+	defer stop()
+	var data [8]byte
+	copy(data[:], "ping0001")
+	done := make(chan error, 1)
+	go func() { done <- cc.Ping(data) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ping never acked")
+	}
+}
+
+func TestClientPingDuplicateRejected(t *testing.T) {
+	// Two concurrent pings with the same payload: the second must error
+	// rather than silently sharing the ack.
+	cc, stop := startPair(t, &Server{Handler: echoHandler()}, ClientConnOptions{})
+	defer stop()
+	var data [8]byte
+	cc.pingMu.Lock()
+	cc.pingWait[data] = make(chan struct{})
+	cc.pingMu.Unlock()
+	if err := cc.Ping(data); err == nil {
+		t.Error("duplicate ping accepted")
+	}
+}
+
+func TestClientCollectsAltSvc(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	go srv.ServeConn(sn)
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	// Inject an ALTSVC frame from a raw peer side: use a second pipe
+	// pair where we control the server bytes.
+	cn2, remote := net.Pipe()
+	go func() {
+		io.ReadFull(remote, make([]byte, len(ClientPreface)))
+		fr := NewFramer(remote, remote)
+		fr.WriteSettings()
+		fr.WriteAltSvc(0, "example.com", `h3=":443"; ma=3600`)
+		io.Copy(io.Discard, remote)
+	}()
+	cc2, err := NewClientConn(cn2, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for len(cc2.AltSvcs()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("alt-svc never recorded")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	as := cc2.AltSvcs()[0]
+	if as.Origin != "example.com" || as.FieldValue != `h3=":443"; ma=3600` {
+		t.Errorf("altsvc = %+v", as)
+	}
+}
+
+// TestParserNeverPanics feeds random frame payloads through the parser;
+// any outcome but a panic is acceptable.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(typ uint8, flags uint8, stream uint32, payload []byte) bool {
+		if len(payload) > minMaxFrameSize {
+			payload = payload[:minMaxFrameSize]
+		}
+		hdr := FrameHeader{
+			Type:     FrameType(typ),
+			Flags:    Flags(flags),
+			StreamID: stream & (1<<31 - 1),
+			Length:   uint32(len(payload)),
+		}
+		_, _ = parseFrame(hdr, payload)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedValidFrames mutates real frames.
+func TestParserNeverPanicsOnMutatedValidFrames(t *testing.T) {
+	w, r, buf := pipeFramer()
+	w.WriteSettings(Setting{SettingMaxFrameSize, 65536})
+	w.WriteOrigin([]string{"https://a.example", "https://b.example"})
+	w.WriteHeaders(HeadersFrameParam{StreamID: 1, BlockFragment: []byte{0x82, 0x84}, EndHeaders: true})
+	w.WriteData(1, true, []byte("payload"))
+	w.WriteGoAway(1, ErrCodeNo, []byte("bye"))
+	raw := append([]byte(nil), buf.Bytes()...)
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3000; trial++ {
+		mutated := append([]byte(nil), raw...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+		}
+		fr := NewFramer(io.Discard, newByteReader(mutated))
+		for {
+			if _, err := fr.ReadFrame(); err != nil {
+				break
+			}
+		}
+	}
+	_ = r
+}
+
+type byteReader struct {
+	b []byte
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,163 @@
+package h2
+
+import "sync"
+
+// sendFlow coordinates send-side flow control for a connection and its
+// streams. A single mutex and condition variable cover the connection
+// window and all stream windows; writers block in take until both the
+// connection and their stream have room.
+type sendFlow struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conn    int64            // connection-level send window
+	streams map[uint32]int64 // per-stream send windows
+	initial int64            // SETTINGS_INITIAL_WINDOW_SIZE from peer
+	closed  bool
+}
+
+func newSendFlow() *sendFlow {
+	f := &sendFlow{
+		conn:    initialWindowSize,
+		streams: make(map[uint32]int64),
+		initial: initialWindowSize,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// openStream registers a stream window at the current initial size.
+func (f *sendFlow) openStream(id uint32) {
+	f.mu.Lock()
+	f.streams[id] = f.initial
+	f.mu.Unlock()
+}
+
+// closeStream removes a stream and wakes any writer blocked on it.
+func (f *sendFlow) closeStream(id uint32) {
+	f.mu.Lock()
+	delete(f.streams, id)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// close unblocks all writers; subsequent takes return 0.
+func (f *sendFlow) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// add credits the stream window (id != 0) or connection window (id == 0)
+// in response to WINDOW_UPDATE. It reports whether the resulting window
+// stays within the 2^31-1 protocol bound.
+func (f *sendFlow) add(id uint32, n int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id == 0 {
+		f.conn += n
+		if f.conn > maxWindow {
+			return false
+		}
+	} else {
+		w, ok := f.streams[id]
+		if ok {
+			w += n
+			if w > maxWindow {
+				return false
+			}
+			f.streams[id] = w
+		}
+	}
+	f.cond.Broadcast()
+	return true
+}
+
+// setInitial applies a SETTINGS_INITIAL_WINDOW_SIZE change, adjusting
+// every open stream by the delta (RFC 9113 §6.9.2). It reports whether
+// all windows stay within bounds.
+func (f *sendFlow) setInitial(n int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delta := n - f.initial
+	f.initial = n
+	for id, w := range f.streams {
+		w += delta
+		if w > maxWindow {
+			return false
+		}
+		f.streams[id] = w
+	}
+	f.cond.Broadcast()
+	return true
+}
+
+// take blocks until it can reserve up to max bytes for stream id,
+// returning the number reserved (min of request, stream window, conn
+// window, but at least 1 when max > 0). It returns 0 when the stream or
+// connection has closed.
+func (f *sendFlow) take(id uint32, max int64) int64 {
+	if max == 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return 0
+		}
+		sw, ok := f.streams[id]
+		if !ok {
+			return 0
+		}
+		avail := sw
+		if f.conn < avail {
+			avail = f.conn
+		}
+		if avail > 0 {
+			n := max
+			if n > avail {
+				n = avail
+			}
+			f.conn -= n
+			f.streams[id] = sw - n
+			return n
+		}
+		f.cond.Wait()
+	}
+}
+
+// recvFlow tracks receive-side flow control: how many bytes the peer may
+// still send, and when to replenish with WINDOW_UPDATE. The connection
+// owner calls consume for every DATA payload received and sends updates
+// when the returned amounts are positive.
+type recvFlow struct {
+	mu         sync.Mutex
+	connAvail  int64 // bytes peer may still send connection-wide
+	connUnsent int64 // consumed bytes not yet returned via WINDOW_UPDATE
+}
+
+func newRecvFlow() *recvFlow {
+	return &recvFlow{connAvail: initialWindowSize}
+}
+
+// consume records receipt of n payload bytes. It returns the
+// connection-level WINDOW_UPDATE increment to send (0 if below the
+// replenish threshold) and false if the peer overflowed our window.
+func (f *recvFlow) consume(n int64) (connInc int64, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > f.connAvail {
+		return 0, false
+	}
+	f.connAvail -= n
+	f.connUnsent += n
+	// Replenish once half the window is consumed, amortizing updates.
+	if f.connUnsent >= initialWindowSize/2 {
+		inc := f.connUnsent
+		f.connUnsent = 0
+		f.connAvail += inc
+		return inc, true
+	}
+	return 0, true
+}

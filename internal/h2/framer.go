@@ -1,0 +1,476 @@
+package h2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// A Framer reads and writes HTTP/2 frames on an underlying reader and
+// writer. Reads must come from a single goroutine; writes are serialized
+// internally and may come from many goroutines.
+//
+// Read frames alias an internal buffer: a frame returned by ReadFrame is
+// valid only until the next ReadFrame call.
+type Framer struct {
+	r    io.Reader
+	rbuf []byte
+
+	wmu  sync.Mutex
+	w    io.Writer
+	wbuf []byte
+
+	// maxReadSize is the largest frame payload this endpoint advertised
+	// (SETTINGS_MAX_FRAME_SIZE); larger frames are a FRAME_SIZE_ERROR.
+	maxReadSize uint32
+
+	// AllowIllegalWrites disables write-side validation. It is used by
+	// tests and by the non-compliance harness to produce malformed
+	// frames on purpose.
+	AllowIllegalWrites bool
+}
+
+// NewFramer returns a Framer reading from r and writing to w.
+func NewFramer(w io.Writer, r io.Reader) *Framer {
+	return &Framer{
+		r:           r,
+		w:           w,
+		rbuf:        make([]byte, frameHeaderLen, frameHeaderLen+minMaxFrameSize),
+		maxReadSize: minMaxFrameSize,
+	}
+}
+
+// SetMaxReadFrameSize sets the largest payload ReadFrame accepts.
+func (fr *Framer) SetMaxReadFrameSize(n uint32) {
+	if n < minMaxFrameSize {
+		n = minMaxFrameSize
+	}
+	if n > maxMaxFrameSize {
+		n = maxMaxFrameSize
+	}
+	fr.maxReadSize = n
+}
+
+// ReadFrame reads and parses one frame. It returns ConnectionError for
+// protocol violations that must tear down the connection.
+func (fr *Framer) ReadFrame() (Frame, error) {
+	hdr, err := readFrameHeader(fr.r, fr.rbuf[:frameHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Length > fr.maxReadSize {
+		return nil, connError(ErrCodeFrameSize, fmt.Sprintf("frame of %d bytes exceeds SETTINGS_MAX_FRAME_SIZE", hdr.Length))
+	}
+	if cap(fr.rbuf) < int(hdr.Length) {
+		fr.rbuf = make([]byte, hdr.Length)
+	}
+	payload := fr.rbuf[:hdr.Length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return parseFrame(hdr, payload)
+}
+
+func parseFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	switch hdr.Type {
+	case FrameData:
+		return parseDataFrame(hdr, p)
+	case FrameHeaders:
+		return parseHeadersFrame(hdr, p)
+	case FramePriority:
+		return parsePriorityFrame(hdr, p)
+	case FrameRSTStream:
+		return parseRSTStreamFrame(hdr, p)
+	case FrameSettings:
+		return parseSettingsFrame(hdr, p)
+	case FramePushPromise:
+		return parsePushPromiseFrame(hdr, p)
+	case FramePing:
+		return parsePingFrame(hdr, p)
+	case FrameGoAway:
+		return parseGoAwayFrame(hdr, p)
+	case FrameWindowUpdate:
+		return parseWindowUpdateFrame(hdr, p)
+	case FrameContinuation:
+		return &ContinuationFrame{FrameHeader: hdr, BlockFragment: p}, nil
+	case FrameAltSvc:
+		return parseAltSvcFrame(hdr, p)
+	case FrameOrigin:
+		return parseOriginFrame(hdr, p)
+	default:
+		return &UnknownFrame{FrameHeader: hdr, Payload: p}, nil
+	}
+}
+
+// stripPadding removes the §6.1 pad-length octet and trailing padding.
+func stripPadding(hdr FrameHeader, p []byte) ([]byte, error) {
+	if !hdr.Flags.Has(FlagPadded) {
+		return p, nil
+	}
+	if len(p) == 0 {
+		return nil, connError(ErrCodeProtocol, "padded frame missing pad length")
+	}
+	padLen := int(p[0])
+	p = p[1:]
+	if padLen > len(p) {
+		return nil, connError(ErrCodeProtocol, "pad length exceeds payload")
+	}
+	return p[:len(p)-padLen], nil
+}
+
+func parseDataFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, connError(ErrCodeProtocol, "DATA on stream 0")
+	}
+	data, err := stripPadding(hdr, p)
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{FrameHeader: hdr, Data: data}, nil
+}
+
+func parseHeadersFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, connError(ErrCodeProtocol, "HEADERS on stream 0")
+	}
+	p, err := stripPadding(hdr, p)
+	if err != nil {
+		return nil, err
+	}
+	f := &HeadersFrame{FrameHeader: hdr}
+	if hdr.Flags.Has(FlagPriority) {
+		if len(p) < 5 {
+			return nil, connError(ErrCodeProtocol, "HEADERS priority fields truncated")
+		}
+		dep := binary.BigEndian.Uint32(p[:4])
+		f.Priority = PriorityParam{
+			StreamDep: dep & (1<<31 - 1),
+			Exclusive: dep>>31 == 1,
+			Weight:    p[4],
+		}
+		p = p[5:]
+	}
+	f.BlockFragment = p
+	return f, nil
+}
+
+func parsePriorityFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, connError(ErrCodeProtocol, "PRIORITY on stream 0")
+	}
+	if len(p) != 5 {
+		return nil, streamError(hdr.StreamID, ErrCodeFrameSize, "PRIORITY payload must be 5 bytes")
+	}
+	dep := binary.BigEndian.Uint32(p[:4])
+	return &PriorityFrame{
+		FrameHeader: hdr,
+		PriorityParam: PriorityParam{
+			StreamDep: dep & (1<<31 - 1),
+			Exclusive: dep>>31 == 1,
+			Weight:    p[4],
+		},
+	}, nil
+}
+
+func parseRSTStreamFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, connError(ErrCodeProtocol, "RST_STREAM on stream 0")
+	}
+	if len(p) != 4 {
+		return nil, connError(ErrCodeFrameSize, "RST_STREAM payload must be 4 bytes")
+	}
+	return &RSTStreamFrame{FrameHeader: hdr, ErrCode: ErrCode(binary.BigEndian.Uint32(p))}, nil
+}
+
+func parseSettingsFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, connError(ErrCodeProtocol, "SETTINGS on non-zero stream")
+	}
+	if hdr.Flags.Has(FlagAck) {
+		if len(p) != 0 {
+			return nil, connError(ErrCodeFrameSize, "SETTINGS ack with payload")
+		}
+		return &SettingsFrame{FrameHeader: hdr}, nil
+	}
+	if len(p)%6 != 0 {
+		return nil, connError(ErrCodeFrameSize, "SETTINGS payload not a multiple of 6")
+	}
+	f := &SettingsFrame{FrameHeader: hdr}
+	for i := 0; i < len(p); i += 6 {
+		s := Setting{
+			ID:  SettingID(binary.BigEndian.Uint16(p[i : i+2])),
+			Val: binary.BigEndian.Uint32(p[i+2 : i+6]),
+		}
+		if err := s.Valid(); err != nil {
+			return nil, err
+		}
+		f.Settings = append(f.Settings, s)
+	}
+	return f, nil
+}
+
+func parsePushPromiseFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, connError(ErrCodeProtocol, "PUSH_PROMISE on stream 0")
+	}
+	p, err := stripPadding(hdr, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) < 4 {
+		return nil, connError(ErrCodeFrameSize, "PUSH_PROMISE truncated")
+	}
+	return &PushPromiseFrame{
+		FrameHeader:   hdr,
+		PromiseID:     binary.BigEndian.Uint32(p[:4]) & (1<<31 - 1),
+		BlockFragment: p[4:],
+	}, nil
+}
+
+func parsePingFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, connError(ErrCodeProtocol, "PING on non-zero stream")
+	}
+	if len(p) != 8 {
+		return nil, connError(ErrCodeFrameSize, "PING payload must be 8 bytes")
+	}
+	f := &PingFrame{FrameHeader: hdr}
+	copy(f.Data[:], p)
+	return f, nil
+}
+
+func parseGoAwayFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, connError(ErrCodeProtocol, "GOAWAY on non-zero stream")
+	}
+	if len(p) < 8 {
+		return nil, connError(ErrCodeFrameSize, "GOAWAY truncated")
+	}
+	return &GoAwayFrame{
+		FrameHeader:  hdr,
+		LastStreamID: binary.BigEndian.Uint32(p[:4]) & (1<<31 - 1),
+		ErrCode:      ErrCode(binary.BigEndian.Uint32(p[4:8])),
+		DebugData:    p[8:],
+	}, nil
+}
+
+func parseWindowUpdateFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if len(p) != 4 {
+		return nil, connError(ErrCodeFrameSize, "WINDOW_UPDATE payload must be 4 bytes")
+	}
+	inc := binary.BigEndian.Uint32(p) & (1<<31 - 1)
+	if inc == 0 {
+		// §6.9: zero increment is PROTOCOL_ERROR; stream-level when on
+		// a stream, connection-level when on stream 0.
+		if hdr.StreamID == 0 {
+			return nil, connError(ErrCodeProtocol, "WINDOW_UPDATE increment 0")
+		}
+		return nil, streamError(hdr.StreamID, ErrCodeProtocol, "WINDOW_UPDATE increment 0")
+	}
+	return &WindowUpdateFrame{FrameHeader: hdr, Increment: inc}, nil
+}
+
+func parseAltSvcFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	if len(p) < 2 {
+		return nil, connError(ErrCodeFrameSize, "ALTSVC truncated")
+	}
+	originLen := int(binary.BigEndian.Uint16(p[:2]))
+	if len(p) < 2+originLen {
+		return nil, connError(ErrCodeFrameSize, "ALTSVC origin truncated")
+	}
+	return &AltSvcFrame{
+		FrameHeader: hdr,
+		Origin:      string(p[2 : 2+originLen]),
+		FieldValue:  string(p[2+originLen:]),
+	}, nil
+}
+
+// parseOriginFrame decodes an RFC 8336 ORIGIN frame: a sequence of
+// origin entries, each a 16-bit length followed by an ASCII origin.
+//
+// Per RFC 8336 §2.1 an ORIGIN frame on a non-zero stream or with flags
+// set "MUST be ignored"; the connection layer handles that by checking
+// the returned header, so parsing stays permissive here. A malformed
+// payload, however, is a connection error of type FRAME_SIZE_ERROR.
+func parseOriginFrame(hdr FrameHeader, p []byte) (Frame, error) {
+	f := &OriginFrame{FrameHeader: hdr}
+	for len(p) > 0 {
+		if len(p) < 2 {
+			return nil, connError(ErrCodeFrameSize, "ORIGIN entry length truncated")
+		}
+		n := int(binary.BigEndian.Uint16(p[:2]))
+		p = p[2:]
+		if len(p) < n {
+			return nil, connError(ErrCodeFrameSize, "ORIGIN entry truncated")
+		}
+		f.Origins = append(f.Origins, string(p[:n]))
+		p = p[n:]
+	}
+	return f, nil
+}
+
+// --- Writing ---
+
+// writeFrame serializes one complete frame under the write lock.
+func (fr *Framer) writeFrame(typ FrameType, flags Flags, streamID uint32, payload []byte) error {
+	if len(payload) > maxMaxFrameSize {
+		return fmt.Errorf("h2: frame payload %d exceeds protocol maximum", len(payload))
+	}
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.wbuf = appendFrameHeader(fr.wbuf[:0], FrameHeader{
+		Type: typ, Flags: flags, StreamID: streamID, Length: uint32(len(payload)),
+	})
+	fr.wbuf = append(fr.wbuf, payload...)
+	_, err := fr.w.Write(fr.wbuf)
+	return err
+}
+
+// WriteData writes a DATA frame. The caller is responsible for honoring
+// flow control and SETTINGS_MAX_FRAME_SIZE.
+func (fr *Framer) WriteData(streamID uint32, endStream bool, data []byte) error {
+	if streamID == 0 && !fr.AllowIllegalWrites {
+		return fmt.Errorf("h2: DATA on stream 0")
+	}
+	var flags Flags
+	if endStream {
+		flags |= FlagEndStream
+	}
+	return fr.writeFrame(FrameData, flags, streamID, data)
+}
+
+// HeadersFrameParam configures WriteHeaders.
+type HeadersFrameParam struct {
+	StreamID      uint32
+	BlockFragment []byte
+	EndStream     bool
+	EndHeaders    bool
+	Priority      *PriorityParam
+}
+
+// WriteHeaders writes a HEADERS frame.
+func (fr *Framer) WriteHeaders(p HeadersFrameParam) error {
+	var flags Flags
+	if p.EndStream {
+		flags |= FlagEndStream
+	}
+	if p.EndHeaders {
+		flags |= FlagEndHeaders
+	}
+	payload := p.BlockFragment
+	if p.Priority != nil {
+		flags |= FlagPriority
+		hdr := make([]byte, 5, 5+len(p.BlockFragment))
+		dep := p.Priority.StreamDep
+		if p.Priority.Exclusive {
+			dep |= 1 << 31
+		}
+		binary.BigEndian.PutUint32(hdr[:4], dep)
+		hdr[4] = p.Priority.Weight
+		payload = append(hdr, p.BlockFragment...)
+	}
+	return fr.writeFrame(FrameHeaders, flags, p.StreamID, payload)
+}
+
+// WriteContinuation writes a CONTINUATION frame.
+func (fr *Framer) WriteContinuation(streamID uint32, endHeaders bool, frag []byte) error {
+	var flags Flags
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	return fr.writeFrame(FrameContinuation, flags, streamID, frag)
+}
+
+// WritePriority writes a PRIORITY frame.
+func (fr *Framer) WritePriority(streamID uint32, p PriorityParam) error {
+	buf := make([]byte, 5)
+	dep := p.StreamDep
+	if p.Exclusive {
+		dep |= 1 << 31
+	}
+	binary.BigEndian.PutUint32(buf[:4], dep)
+	buf[4] = p.Weight
+	return fr.writeFrame(FramePriority, 0, streamID, buf)
+}
+
+// WriteRSTStream writes an RST_STREAM frame.
+func (fr *Framer) WriteRSTStream(streamID uint32, code ErrCode) error {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(code))
+	return fr.writeFrame(FrameRSTStream, 0, streamID, buf)
+}
+
+// WriteSettings writes a SETTINGS frame with the given parameters.
+func (fr *Framer) WriteSettings(settings ...Setting) error {
+	buf := make([]byte, 0, 6*len(settings))
+	for _, s := range settings {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.ID))
+		buf = binary.BigEndian.AppendUint32(buf, s.Val)
+	}
+	return fr.writeFrame(FrameSettings, 0, 0, buf)
+}
+
+// WriteSettingsAck acknowledges the peer's SETTINGS frame.
+func (fr *Framer) WriteSettingsAck() error {
+	return fr.writeFrame(FrameSettings, FlagAck, 0, nil)
+}
+
+// WritePing writes a PING frame.
+func (fr *Framer) WritePing(ack bool, data [8]byte) error {
+	var flags Flags
+	if ack {
+		flags |= FlagAck
+	}
+	return fr.writeFrame(FramePing, flags, 0, data[:])
+}
+
+// WriteGoAway writes a GOAWAY frame.
+func (fr *Framer) WriteGoAway(lastStreamID uint32, code ErrCode, debug []byte) error {
+	buf := make([]byte, 8, 8+len(debug))
+	binary.BigEndian.PutUint32(buf[:4], lastStreamID)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(code))
+	return fr.writeFrame(FrameGoAway, 0, 0, append(buf, debug...))
+}
+
+// WriteWindowUpdate writes a WINDOW_UPDATE frame.
+func (fr *Framer) WriteWindowUpdate(streamID, incr uint32) error {
+	if (incr == 0 || incr > maxWindow) && !fr.AllowIllegalWrites {
+		return fmt.Errorf("h2: illegal window increment %d", incr)
+	}
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, incr)
+	return fr.writeFrame(FrameWindowUpdate, 0, streamID, buf)
+}
+
+// WriteAltSvc writes an ALTSVC frame (RFC 7838 §4).
+func (fr *Framer) WriteAltSvc(streamID uint32, origin, fieldValue string) error {
+	buf := make([]byte, 0, 2+len(origin)+len(fieldValue))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(origin)))
+	buf = append(buf, origin...)
+	buf = append(buf, fieldValue...)
+	return fr.writeFrame(FrameAltSvc, 0, streamID, buf)
+}
+
+// WriteOrigin writes an RFC 8336 ORIGIN frame carrying the given origin
+// set on stream 0.
+func (fr *Framer) WriteOrigin(origins []string) error {
+	var buf []byte
+	for _, o := range origins {
+		if len(o) > 65535 {
+			return fmt.Errorf("h2: origin %q too long for ORIGIN frame", o)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(o)))
+		buf = append(buf, o...)
+	}
+	return fr.writeFrame(FrameOrigin, 0, 0, buf)
+}
+
+// WriteRawFrame writes an arbitrary frame; used by tests and the
+// non-compliance harness.
+func (fr *Framer) WriteRawFrame(typ FrameType, flags Flags, streamID uint32, payload []byte) error {
+	return fr.writeFrame(typ, flags, streamID, payload)
+}

@@ -1,0 +1,268 @@
+package h2
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"respectorigin/internal/hpack"
+)
+
+// TestContinuationFloodCutOff: a peer streaming endless CONTINUATION
+// frames must be cut off with ENHANCE_YOUR_CALM rather than buffering
+// without bound.
+func TestContinuationFloodCutOff(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeConn(sn) }()
+
+	if _, err := io.WriteString(cn, ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFramer(cn, cn)
+	if err := fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	// Open a header block and never finish it.
+	enc := hpack.NewEncoder()
+	frag := enc.AppendHeaderBlock(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"}, {Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"},
+	})
+	if err := fr.WriteHeaders(HeadersFrameParam{StreamID: 1, BlockFragment: frag}); err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0x00}, 16000) // literal fragments, never END_HEADERS
+	go func() {
+		for i := 0; i < 200; i++ {
+			if err := fr.WriteContinuation(1, false, junk); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-serverErr:
+		ce, ok := err.(ConnectionError)
+		if !ok || ce.Code != ErrCodeEnhanceYourCalm {
+			t.Errorf("server exit = %v, want ENHANCE_YOUR_CALM", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server kept buffering the flood")
+	}
+	cn.Close()
+}
+
+// TestOversizedSingleHeadersFrame: one huge HEADERS fragment is also
+// bounded (the server's MaxFrameSize must admit it first).
+func TestOversizedSingleHeadersFrame(t *testing.T) {
+	srv := &Server{Handler: echoHandler(), MaxFrameSize: 1 << 21}
+	cn, sn := net.Pipe()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeConn(sn) }()
+
+	io.WriteString(cn, ClientPreface)
+	fr := NewFramer(cn, cn)
+	fr.WriteSettings()
+	go io.Copy(io.Discard, cn)
+	big := bytes.Repeat([]byte{0}, (1<<20)+1)
+	if err := fr.WriteHeaders(HeadersFrameParam{StreamID: 1, BlockFragment: big, EndHeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serverErr:
+		ce, ok := err.(ConnectionError)
+		if !ok || ce.Code != ErrCodeEnhanceYourCalm {
+			t.Errorf("server exit = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server accepted oversized block")
+	}
+	cn.Close()
+}
+
+// TestInitialWindowSizeChangeMidStream: shrinking then growing
+// SETTINGS_INITIAL_WINDOW_SIZE adjusts in-flight stream windows
+// (RFC 9113 §6.9.2) without deadlocking the transfer.
+func TestInitialWindowSizeChangeMidStream(t *testing.T) {
+	release := make(chan struct{})
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write(bytes.Repeat([]byte{'a'}, 40000))
+		<-release
+		w.Write(bytes.Repeat([]byte{'b'}, 40000))
+	})}
+	cn, sn := net.Pipe()
+	go srv.ServeConn(sn)
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	respCh := make(chan *Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := cc.Get("example.com", "/big")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	// Mid-transfer, lower and then raise the server's send window.
+	time.Sleep(20 * time.Millisecond)
+	if err := cc.fr.WriteSettings(Setting{SettingInitialWindowSize, 1024}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := cc.fr.WriteSettings(Setting{SettingInitialWindowSize, 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	select {
+	case resp := <-respCh:
+		if len(resp.Body) != 80000 {
+			t.Errorf("body = %d bytes", len(resp.Body))
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("transfer stalled after window changes")
+	}
+}
+
+// TestFlowControlStallAndResume: a tiny client connection window must
+// stall the server until WINDOW_UPDATEs arrive, and the transfer must
+// still complete.
+func TestFlowControlStallAndResume(t *testing.T) {
+	const size = 200_000
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write(bytes.Repeat([]byte{'z'}, size))
+	})}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+	resp, err := cc.Get("example.com", "/stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != size {
+		t.Errorf("got %d bytes", len(resp.Body))
+	}
+}
+
+// TestHugeHeaderValueRejectedGracefully: a header just under the block
+// limit round-trips; the request still succeeds.
+func TestHeaderNearLimitSucceeds(t *testing.T) {
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeader(200, hpack.HeaderField{Name: "x-len", Value: itoa(len(r.HeaderValue("x-big")))})
+	})}
+	cc, stop := startPair(t, srv, ClientConnOptions{})
+	defer stop()
+	val := strings.Repeat("v", 200_000)
+	resp, err := cc.RoundTrip(&Request{
+		Method: "GET", Scheme: "https", Authority: "example.com", Path: "/",
+		Header: []hpack.HeaderField{{Name: "x-big", Value: val, Sensitive: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.HeaderValue("x-len") != itoa(len(val)) {
+		t.Errorf("x-len = %s", resp.HeaderValue("x-len"))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestMalformedRequestsRejected exercises the §8.3 pseudo-header rules
+// end to end.
+func TestMalformedRequestsRejected(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	go srv.ServeConn(sn)
+
+	io.WriteString(cn, ClientPreface)
+	fr := NewFramer(cn, cn)
+	fr.WriteSettings()
+	enc := hpack.NewEncoder()
+
+	// Uppercase header name: connection is torn down with a
+	// compression/protocol error signalled via GOAWAY or RST.
+	frag := enc.AppendHeaderBlock(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"}, {Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"}, {Name: "BadHeader", Value: "x"},
+	})
+	fr.WriteHeaders(HeadersFrameParam{StreamID: 1, BlockFragment: frag, EndStream: true, EndHeaders: true})
+
+	sawReset := false
+	deadline := time.After(2 * time.Second)
+	done := make(chan bool, 1)
+	go func() {
+		for {
+			f, err := fr.ReadFrame()
+			if err != nil {
+				done <- sawReset
+				return
+			}
+			switch f.(type) {
+			case *RSTStreamFrame, *GoAwayFrame:
+				sawReset = true
+				done <- true
+				return
+			}
+		}
+	}()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Error("malformed request not rejected")
+		}
+	case <-deadline:
+		t.Error("no rejection observed")
+	}
+	cn.Close()
+}
+
+// TestStreamIDMonotonicityEnforced: reusing a lower stream ID is a
+// connection error.
+func TestStreamIDMonotonicityEnforced(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeConn(sn) }()
+
+	io.WriteString(cn, ClientPreface)
+	fr := NewFramer(cn, cn)
+	fr.WriteSettings()
+	go io.Copy(io.Discard, cn)
+	enc := hpack.NewEncoder()
+	mk := func() []byte {
+		return enc.AppendHeaderBlock(nil, []hpack.HeaderField{
+			{Name: ":method", Value: "GET"}, {Name: ":scheme", Value: "https"}, {Name: ":path", Value: "/"},
+		})
+	}
+	fr.WriteHeaders(HeadersFrameParam{StreamID: 5, BlockFragment: mk(), EndStream: true, EndHeaders: true})
+	fr.WriteHeaders(HeadersFrameParam{StreamID: 3, BlockFragment: mk(), EndStream: true, EndHeaders: true})
+	select {
+	case err := <-serverErr:
+		ce, ok := err.(ConnectionError)
+		if !ok || ce.Code != ErrCodeProtocol {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("non-monotonic stream ID accepted")
+	}
+	cn.Close()
+}

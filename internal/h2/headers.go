@@ -1,0 +1,213 @@
+package h2
+
+import (
+	"strings"
+
+	"respectorigin/internal/hpack"
+)
+
+// MetaHeadersFrame is a HEADERS frame plus all of its CONTINUATIONs,
+// with the header block decoded.
+type MetaHeadersFrame struct {
+	*HeadersFrame
+	Fields []hpack.HeaderField
+}
+
+// PseudoValue returns the value of the given pseudo-header (":method",
+// ":path", ...) or "".
+func (f *MetaHeadersFrame) PseudoValue(name string) string {
+	for _, hf := range f.Fields {
+		if !strings.HasPrefix(hf.Name, ":") {
+			break
+		}
+		if hf.Name[1:] == name {
+			return hf.Value
+		}
+	}
+	return ""
+}
+
+// RegularFields returns the non-pseudo header fields.
+func (f *MetaHeadersFrame) RegularFields() []hpack.HeaderField {
+	for i, hf := range f.Fields {
+		if !strings.HasPrefix(hf.Name, ":") {
+			return f.Fields[i:]
+		}
+	}
+	return nil
+}
+
+// validPseudoHeaders enumerates the request and response pseudo-headers
+// from RFC 9113 §8.3.
+var validPseudoHeaders = map[string]bool{
+	":method":    true,
+	":scheme":    true,
+	":authority": true,
+	":path":      true,
+	":status":    true,
+}
+
+// checkHeaderBlock enforces the RFC 9113 §8.2 field validity rules that
+// make a request or response malformed: pseudo-headers after regular
+// fields, unknown pseudo-headers, uppercase field names, and
+// connection-specific fields.
+func checkHeaderBlock(fields []hpack.HeaderField) error {
+	sawRegular := false
+	for _, f := range fields {
+		if strings.HasPrefix(f.Name, ":") {
+			if sawRegular {
+				return streamError(0, ErrCodeProtocol, "pseudo-header after regular header")
+			}
+			if !validPseudoHeaders[f.Name] {
+				return streamError(0, ErrCodeProtocol, "unknown pseudo-header "+f.Name)
+			}
+			continue
+		}
+		sawRegular = true
+		if f.Name == "" {
+			return streamError(0, ErrCodeProtocol, "empty header name")
+		}
+		if f.Name != strings.ToLower(f.Name) {
+			return streamError(0, ErrCodeProtocol, "uppercase header name "+f.Name)
+		}
+		switch f.Name {
+		case "connection", "proxy-connection", "keep-alive", "transfer-encoding", "upgrade":
+			return streamError(0, ErrCodeProtocol, "connection-specific header "+f.Name)
+		case "te":
+			if f.Value != "trailers" {
+				return streamError(0, ErrCodeProtocol, "te header must be 'trailers'")
+			}
+		}
+	}
+	return nil
+}
+
+// headerWriter serializes a header field list into HEADERS plus
+// CONTINUATION frames, splitting the block at maxFrameSize. It must be
+// called with the connection's header-encode mutex held so that HPACK
+// state and frame interleaving stay consistent.
+type headerWriter struct {
+	fr           *Framer
+	enc          *hpack.Encoder
+	maxFrameSize uint32
+	buf          []byte
+}
+
+func (hw *headerWriter) writeHeaders(streamID uint32, fields []hpack.HeaderField, endStream bool) error {
+	hw.buf = hw.enc.AppendHeaderBlock(hw.buf[:0], fields)
+	block := hw.buf
+	max := int(hw.maxFrameSize)
+	first := true
+	for {
+		frag := block
+		if len(frag) > max {
+			frag = frag[:max]
+		}
+		block = block[len(frag):]
+		end := len(block) == 0
+		var err error
+		if first {
+			err = hw.fr.WriteHeaders(HeadersFrameParam{
+				StreamID:      streamID,
+				BlockFragment: frag,
+				EndStream:     endStream,
+				EndHeaders:    end,
+			})
+			first = false
+		} else {
+			err = hw.fr.WriteContinuation(streamID, end, frag)
+		}
+		if err != nil {
+			return err
+		}
+		if end {
+			return nil
+		}
+	}
+}
+
+// defaultMaxHeaderBlockSize bounds an assembled header block. An
+// endpoint streaming unbounded CONTINUATION frames (the "CONTINUATION
+// flood") is cut off with ENHANCE_YOUR_CALM once the block passes this.
+const defaultMaxHeaderBlockSize = 1 << 20
+
+// headerReader accumulates HEADERS + CONTINUATION frames into a
+// MetaHeadersFrame using the connection's HPACK decoder.
+type headerReader struct {
+	dec *hpack.Decoder
+
+	// maxBlockSize caps the assembled block; 0 means the default.
+	maxBlockSize int
+
+	// pending is the HEADERS frame whose block is being continued.
+	pending *HeadersFrame
+	frag    []byte
+}
+
+func (hr *headerReader) limit() int {
+	if hr.maxBlockSize > 0 {
+		return hr.maxBlockSize
+	}
+	return defaultMaxHeaderBlockSize
+}
+
+// expectingContinuation reports whether the next frame must be a
+// CONTINUATION for the pending stream.
+func (hr *headerReader) expectingContinuation() bool { return hr.pending != nil }
+
+// onHeaders ingests a HEADERS frame. If the block is complete it returns
+// the decoded meta frame; otherwise it returns nil and waits for
+// CONTINUATIONs.
+func (hr *headerReader) onHeaders(f *HeadersFrame) (*MetaHeadersFrame, error) {
+	if hr.pending != nil {
+		return nil, connError(ErrCodeProtocol, "HEADERS while expecting CONTINUATION")
+	}
+	if len(f.BlockFragment) > hr.limit() {
+		return nil, connError(ErrCodeEnhanceYourCalm, "header block too large")
+	}
+	// Copy out of the framer's read buffer: the fragment must survive
+	// subsequent ReadFrame calls.
+	owned := &HeadersFrame{FrameHeader: f.FrameHeader, Priority: f.Priority}
+	owned.BlockFragment = append([]byte(nil), f.BlockFragment...)
+	if f.EndHeaders() {
+		return hr.decode(owned, owned.BlockFragment)
+	}
+	hr.pending = owned
+	hr.frag = append(hr.frag[:0], owned.BlockFragment...)
+	return nil, nil
+}
+
+// onContinuation ingests a CONTINUATION frame, returning the decoded
+// meta frame once END_HEADERS arrives.
+func (hr *headerReader) onContinuation(f *ContinuationFrame) (*MetaHeadersFrame, error) {
+	if hr.pending == nil {
+		return nil, connError(ErrCodeProtocol, "CONTINUATION without HEADERS")
+	}
+	if f.StreamID != hr.pending.StreamID {
+		return nil, connError(ErrCodeProtocol, "CONTINUATION on wrong stream")
+	}
+	if len(hr.frag)+len(f.BlockFragment) > hr.limit() {
+		hr.pending = nil
+		return nil, connError(ErrCodeEnhanceYourCalm, "header block too large")
+	}
+	hr.frag = append(hr.frag, f.BlockFragment...)
+	if !f.EndHeaders() {
+		return nil, nil
+	}
+	pending := hr.pending
+	hr.pending = nil
+	return hr.decode(pending, hr.frag)
+}
+
+func (hr *headerReader) decode(hf *HeadersFrame, block []byte) (*MetaHeadersFrame, error) {
+	fields, err := hr.dec.DecodeFull(block)
+	if err != nil {
+		return nil, connError(ErrCodeCompression, err.Error())
+	}
+	if err := checkHeaderBlock(fields); err != nil {
+		se := err.(StreamError)
+		se.StreamID = hf.StreamID
+		return nil, se
+	}
+	return &MetaHeadersFrame{HeadersFrame: hf, Fields: fields}, nil
+}

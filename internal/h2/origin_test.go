@@ -1,0 +1,118 @@
+package h2
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalOrigin(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"example.com", "https://example.com", false},
+		{"Example.COM", "https://example.com", false},
+		{"https://example.com", "https://example.com", false},
+		{"https://example.com:443", "https://example.com", false},
+		{"https://example.com:8443", "https://example.com:8443", false},
+		{"https://example.com/", "https://example.com", false},
+		{"cdn.example.net:443", "https://cdn.example.net", false},
+		{"https://[::1]:8443", "https://[::1]:8443", false},
+		{"http://example.com", "", true},
+		{"ftp://example.com", "", true},
+		{"", "", true},
+		{"https://example.com/path", "", true},
+		{"https://exa mple.com", "", true},
+		{"https://example.com:port", "", true},
+		{"https://:8443", "", true},
+	}
+	for _, c := range cases {
+		got, err := CanonicalOrigin(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("CanonicalOrigin(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("CanonicalOrigin(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestCanonicalOriginIdempotent(t *testing.T) {
+	f := func(host string) bool {
+		c1, err := CanonicalOrigin(host)
+		if err != nil {
+			return true // invalid inputs are out of scope
+		}
+		c2, err := CanonicalOrigin(c1)
+		return err == nil && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOriginHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"https://example.com", "example.com"},
+		{"https://example.com:8443", "example.com"},
+		{"https://[::1]:8443", "[::1]"},
+		{"https://[::1]", "[::1]"},
+	}
+	for _, c := range cases {
+		if got := OriginHost(c.in); got != c.want {
+			t.Errorf("OriginHost(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOriginSetReplaceSemantics(t *testing.T) {
+	s := NewOriginSet()
+	if s.Initialized() {
+		t.Error("fresh set claims initialization")
+	}
+	s.Replace([]string{"a.example", "b.example"})
+	if !s.Initialized() || s.Len() != 2 {
+		t.Fatalf("after replace: init=%v len=%d", s.Initialized(), s.Len())
+	}
+	if !s.Contains("a.example") || !s.Contains("https://b.example") {
+		t.Error("membership lookups failed")
+	}
+	// A second ORIGIN frame replaces, not merges.
+	s.Replace([]string{"c.example"})
+	if s.Contains("a.example") || !s.Contains("c.example") || s.Len() != 1 {
+		t.Errorf("replace did not replace: %v", s.All())
+	}
+}
+
+func TestOriginSetSkipsInvalidEntries(t *testing.T) {
+	s := NewOriginSet()
+	s.Replace([]string{"good.example", "http://bad.example", "", "also good.example/nope path"})
+	if s.Len() != 1 || !s.Contains("good.example") {
+		t.Errorf("set = %v", s.All())
+	}
+}
+
+func TestOriginSetAll(t *testing.T) {
+	s := NewOriginSet("b.example", "a.example")
+	want := []string{"https://a.example", "https://b.example"}
+	if got := s.All(); !reflect.DeepEqual(got, want) {
+		t.Errorf("All() = %v, want %v", got, want)
+	}
+}
+
+func TestOriginSetAddAndContains(t *testing.T) {
+	var s OriginSet
+	s.Add("www.example.com")
+	if !s.Contains("WWW.example.com") {
+		t.Error("case-insensitive membership failed")
+	}
+	s.Add("http://ignored.example")
+	if s.Contains("ignored.example") {
+		t.Error("non-https origin admitted")
+	}
+}

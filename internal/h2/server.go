@@ -1,0 +1,630 @@
+package h2
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"respectorigin/internal/hpack"
+)
+
+// A Request is a fully received HTTP/2 request.
+type Request struct {
+	Method    string
+	Scheme    string
+	Authority string
+	Path      string
+	Header    []hpack.HeaderField // regular (non-pseudo) fields
+	Body      []byte
+	StreamID  uint32
+}
+
+// HeaderValue returns the first value of the named regular header.
+func (r *Request) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// A Handler responds to HTTP/2 requests.
+type Handler interface {
+	ServeHTTP2(w *ResponseWriter, r *Request)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(w *ResponseWriter, r *Request)
+
+// ServeHTTP2 calls f(w, r).
+func (f HandlerFunc) ServeHTTP2(w *ResponseWriter, r *Request) { f(w, r) }
+
+// A Server terminates HTTP/2 connections. The zero value is unusable;
+// Handler must be set.
+//
+// Server implements the missing piece the paper identifies (§5.3): a
+// production-style server-side ORIGIN frame. When OriginSet is non-empty
+// (or OriginSetFunc returns entries), the server announces the set on
+// stream 0 immediately after its SETTINGS frame, as RFC 8336 §2.2
+// recommends, so clients learn coalescable hostnames before the first
+// response.
+type Server struct {
+	// Handler receives every request. Required.
+	Handler Handler
+
+	// OriginSet is the static origin set advertised on every connection.
+	OriginSet []string
+
+	// OriginSetFunc, when non-nil, computes the origin set per
+	// connection (e.g. from the SNI of the TLS handshake). It overrides
+	// OriginSet when it returns a non-nil slice.
+	OriginSetFunc func(conn net.Conn) []string
+
+	// Authoritative, when non-nil, reports whether this server can
+	// authoritatively serve the given :authority. Requests for other
+	// hosts receive 421 Misdirected Request, the behaviour described in
+	// §2.2 of the paper. When nil every authority is accepted.
+	Authoritative func(authority string) bool
+
+	// MaxConcurrentStreams caps simultaneously active streams per
+	// connection; 0 means the implementation default of 250.
+	MaxConcurrentStreams uint32
+
+	// MaxFrameSize advertises SETTINGS_MAX_FRAME_SIZE; 0 means 16384.
+	MaxFrameSize uint32
+
+	// DisableHuffman turns off Huffman coding in response headers
+	// (used by the HPACK ablation benchmarks).
+	DisableHuffman bool
+
+	// CountersFor, when non-nil, receives the per-connection counters
+	// when a connection finishes, for measurement harnesses.
+	CountersFor func(ConnCounters)
+}
+
+// ConnCounters aggregates per-connection observability counters.
+type ConnCounters struct {
+	StreamsOpened    int
+	FramesRead       int
+	FramesWritten    int
+	BytesRead        int64
+	Misdirected      int // 421 responses sent
+	OriginAdvertised bool
+}
+
+func (s *Server) maxStreams() uint32 {
+	if s.MaxConcurrentStreams == 0 {
+		return 250
+	}
+	return s.MaxConcurrentStreams
+}
+
+func (s *Server) maxFrameSize() uint32 {
+	if s.MaxFrameSize == 0 {
+		return minMaxFrameSize
+	}
+	return s.MaxFrameSize
+}
+
+// ServeConn serves one HTTP/2 connection until the peer goes away or a
+// protocol error occurs. It returns nil on clean shutdown (EOF or
+// GOAWAY exchange) and the fatal error otherwise.
+func (s *Server) ServeConn(nc net.Conn) error {
+	_, err := s.serveConn(nc, nil)
+	return err
+}
+
+// ServeConnGraceful is ServeConn with a shutdown hook: when the
+// returned stop function is called, the server announces GOAWAY with
+// the last accepted stream, refuses new streams, finishes in-flight
+// responses, and closes the connection once the connection drains.
+func (s *Server) ServeConnGraceful(nc net.Conn) (stop func(), done <-chan error) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		_, err := s.serveConn(nc, stopCh)
+		doneCh <- err
+	}()
+	return func() { once.Do(func() { close(stopCh) }) }, doneCh
+}
+
+func (s *Server) serveConn(nc net.Conn, stopCh <-chan struct{}) (*serverConn, error) {
+	aw := newAsyncWriter(nc)
+	defer aw.Close()
+	sc := &serverConn{
+		srv:          s,
+		nc:           nc,
+		aw:           aw,
+		fr:           NewFramer(aw, nc),
+		streams:      make(map[uint32]*serverStream),
+		sendFlow:     newSendFlow(),
+		recvFlow:     newRecvFlow(),
+		maxSendFrame: minMaxFrameSize,
+	}
+	sc.hw = &headerWriter{fr: sc.fr, enc: hpack.NewEncoder(), maxFrameSize: minMaxFrameSize}
+	if s.DisableHuffman {
+		sc.hw.enc.SetHuffman(false)
+	}
+	sc.hr = &headerReader{dec: hpack.NewDecoder()}
+	if stopCh != nil {
+		go func() {
+			<-stopCh
+			sc.beginDrain()
+		}()
+	}
+	err := sc.serve()
+	if s.CountersFor != nil {
+		s.CountersFor(sc.counters)
+	}
+	return sc, err
+}
+
+// beginDrain announces graceful shutdown: GOAWAY with the last accepted
+// stream ID. Streams at or below it complete normally; later HEADERS
+// are refused. Once no streams remain active the connection closes.
+func (sc *serverConn) beginDrain() {
+	sc.mu.Lock()
+	if sc.draining {
+		sc.mu.Unlock()
+		return
+	}
+	sc.draining = true
+	last := sc.lastStreamID
+	active := sc.activeStreams
+	sc.mu.Unlock()
+	_ = sc.fr.WriteGoAway(last, ErrCodeNo, []byte("graceful shutdown"))
+	if active == 0 {
+		sc.shutdownTransport()
+	}
+}
+
+// shutdownTransport flushes queued frames and closes the connection.
+func (sc *serverConn) shutdownTransport() {
+	_ = sc.aw.Close() // drains the write queue first
+	_ = sc.nc.Close()
+}
+
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+	aw  *asyncWriter
+	fr  *Framer
+
+	hwmu sync.Mutex // serializes header encoding + HEADERS/CONTINUATION writes
+	hw   *headerWriter
+	hr   *headerReader
+
+	sendFlow *sendFlow
+	recvFlow *recvFlow
+
+	mu             sync.Mutex
+	streams        map[uint32]*serverStream
+	lastStreamID   uint32
+	activeStreams  uint32
+	maxSendFrame   uint32 // peer's SETTINGS_MAX_FRAME_SIZE
+	goAwayReceived bool
+	draining       bool // graceful shutdown announced with GOAWAY
+
+	counters ConnCounters
+}
+
+type serverStream struct {
+	id              uint32
+	req             *Request
+	gotEnd          bool // END_STREAM received
+	halfClosedLocal bool
+	bodyLen         int
+}
+
+func (sc *serverConn) serve() error {
+	if err := sc.readPreface(); err != nil {
+		return err
+	}
+	settings := []Setting{
+		{SettingMaxConcurrentStreams, sc.srv.maxStreams()},
+		{SettingMaxFrameSize, sc.srv.maxFrameSize()},
+		{SettingEnablePush, 0},
+	}
+	if err := sc.fr.WriteSettings(settings...); err != nil {
+		return err
+	}
+	sc.fr.SetMaxReadFrameSize(sc.srv.maxFrameSize())
+
+	origins := sc.srv.OriginSet
+	if sc.srv.OriginSetFunc != nil {
+		if o := sc.srv.OriginSetFunc(sc.nc); o != nil {
+			origins = o
+		}
+	}
+	if len(origins) > 0 {
+		canon := make([]string, 0, len(origins))
+		for _, o := range origins {
+			c, err := CanonicalOrigin(o)
+			if err != nil {
+				return fmt.Errorf("h2: bad configured origin %q: %w", o, err)
+			}
+			canon = append(canon, c)
+		}
+		if err := sc.fr.WriteOrigin(canon); err != nil {
+			return err
+		}
+		sc.counters.OriginAdvertised = true
+	}
+
+	for {
+		f, err := sc.fr.ReadFrame()
+		if err != nil {
+			return sc.fatal(err)
+		}
+		sc.counters.FramesRead++
+		if sc.hr.expectingContinuation() {
+			cf, ok := f.(*ContinuationFrame)
+			if !ok {
+				return sc.fatal(connError(ErrCodeProtocol, "expected CONTINUATION"))
+			}
+			if err := sc.onContinuation(cf); err != nil {
+				if err := sc.handleError(err); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := sc.dispatch(f); err != nil {
+			if err := sc.handleError(err); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (sc *serverConn) readPreface() error {
+	buf := make([]byte, len(ClientPreface))
+	if _, err := io.ReadFull(sc.nc, buf); err != nil {
+		return fmt.Errorf("h2: reading client preface: %w", err)
+	}
+	if string(buf) != ClientPreface {
+		return connError(ErrCodeProtocol, "invalid client preface")
+	}
+	return nil
+}
+
+// fatal normalizes read-loop exit: EOF after GOAWAY or clean close maps
+// to nil.
+func (sc *serverConn) fatal(err error) error {
+	sc.sendFlow.close()
+	sc.mu.Lock()
+	sawGoAway := sc.goAwayReceived
+	draining := sc.draining
+	sc.mu.Unlock()
+	if draining {
+		// We initiated a graceful shutdown; however the transport ends
+		// now (EOF, or our own close after the drain), it is clean.
+		return nil
+	}
+	if err == io.EOF {
+		// EOF is a clean shutdown only after the peer announced it with
+		// GOAWAY; a bare close mid-connection (the §6.7 middlebox
+		// behaviour) is an abnormal termination.
+		if sawGoAway {
+			return nil
+		}
+		return io.ErrUnexpectedEOF
+	}
+	if ce, ok := err.(ConnectionError); ok {
+		sc.mu.Lock()
+		last := sc.lastStreamID
+		sc.mu.Unlock()
+		_ = sc.fr.WriteGoAway(last, ce.Code, []byte(ce.Reason))
+		_ = sc.nc.Close()
+		if ce.Code == ErrCodeNo {
+			return nil
+		}
+		return ce
+	}
+	return err
+}
+
+// handleError handles stream-level errors inline and escalates
+// connection errors.
+func (sc *serverConn) handleError(err error) error {
+	if se, ok := err.(StreamError); ok {
+		sc.closeStream(se.StreamID)
+		if werr := sc.fr.WriteRSTStream(se.StreamID, se.Code); werr != nil {
+			return sc.fatal(werr)
+		}
+		return nil
+	}
+	return sc.fatal(err)
+}
+
+func (sc *serverConn) dispatch(f Frame) error {
+	switch f := f.(type) {
+	case *HeadersFrame:
+		meta, err := sc.hr.onHeaders(f)
+		if err != nil {
+			return err
+		}
+		if meta != nil {
+			return sc.onRequestHeaders(meta)
+		}
+		return nil
+	case *ContinuationFrame:
+		return connError(ErrCodeProtocol, "CONTINUATION without HEADERS")
+	case *DataFrame:
+		return sc.onData(f)
+	case *SettingsFrame:
+		return sc.onSettings(f)
+	case *PingFrame:
+		if f.IsAck() {
+			return nil
+		}
+		sc.counters.FramesWritten++
+		return sc.fr.WritePing(true, f.Data)
+	case *WindowUpdateFrame:
+		if !sc.sendFlow.add(f.StreamID, int64(f.Increment)) {
+			if f.StreamID == 0 {
+				return connError(ErrCodeFlowControl, "connection window overflow")
+			}
+			return streamError(f.StreamID, ErrCodeFlowControl, "stream window overflow")
+		}
+		return nil
+	case *RSTStreamFrame:
+		sc.closeStream(f.StreamID)
+		return nil
+	case *PriorityFrame:
+		return nil // deprecated; accepted and ignored
+	case *GoAwayFrame:
+		sc.mu.Lock()
+		sc.goAwayReceived = true
+		sc.mu.Unlock()
+		return io.EOF // peer is going away; drain and exit
+	case *PushPromiseFrame:
+		return connError(ErrCodeProtocol, "client sent PUSH_PROMISE")
+	case *OriginFrame:
+		// RFC 8336 §2: "The ORIGIN frame ... is sent from servers to
+		// clients"; clients do not send it. A server MUST ignore it.
+		return nil
+	default:
+		return nil // unknown frames are ignored (§4.1)
+	}
+}
+
+func (sc *serverConn) onContinuation(cf *ContinuationFrame) error {
+	meta, err := sc.hr.onContinuation(cf)
+	if err != nil {
+		return err
+	}
+	if meta != nil {
+		return sc.onRequestHeaders(meta)
+	}
+	return nil
+}
+
+func (sc *serverConn) onRequestHeaders(meta *MetaHeadersFrame) error {
+	id := meta.StreamID
+	if id%2 == 0 {
+		return connError(ErrCodeProtocol, "client used even stream ID")
+	}
+	sc.mu.Lock()
+	if id <= sc.lastStreamID {
+		sc.mu.Unlock()
+		return connError(ErrCodeProtocol, "stream ID not monotonically increasing")
+	}
+	if sc.draining {
+		sc.mu.Unlock()
+		// Streams above the GOAWAY watermark are refused; the client
+		// retries them elsewhere (RFC 9113 §6.8).
+		return streamError(id, ErrCodeRefusedStream, "connection is draining")
+	}
+	sc.lastStreamID = id
+	if sc.activeStreams >= sc.srv.maxStreams() {
+		sc.mu.Unlock()
+		return streamError(id, ErrCodeRefusedStream, "too many concurrent streams")
+	}
+	req := &Request{
+		Method:    meta.PseudoValue("method"),
+		Scheme:    meta.PseudoValue("scheme"),
+		Authority: meta.PseudoValue("authority"),
+		Path:      meta.PseudoValue("path"),
+		Header:    meta.RegularFields(),
+		StreamID:  id,
+	}
+	st := &serverStream{id: id, req: req, gotEnd: meta.EndStream()}
+	sc.streams[id] = st
+	sc.activeStreams++
+	sc.counters.StreamsOpened++
+	sc.mu.Unlock()
+	sc.sendFlow.openStream(id)
+
+	if req.Method == "" || req.Scheme == "" || req.Path == "" {
+		return streamError(id, ErrCodeProtocol, "missing required pseudo-headers")
+	}
+	if st.gotEnd {
+		sc.startHandler(st)
+	}
+	return nil
+}
+
+func (sc *serverConn) onData(f *DataFrame) error {
+	n := int64(f.Length) // padding counts toward flow control
+	inc, ok := sc.recvFlow.consume(n)
+	if !ok {
+		return connError(ErrCodeFlowControl, "peer exceeded connection window")
+	}
+	if inc > 0 {
+		sc.counters.FramesWritten++
+		if err := sc.fr.WriteWindowUpdate(0, uint32(inc)); err != nil {
+			return err
+		}
+	}
+	sc.mu.Lock()
+	st, ok := sc.streams[f.StreamID]
+	sc.mu.Unlock()
+	if !ok || st.gotEnd {
+		return streamError(f.StreamID, ErrCodeStreamClosed, "DATA on closed stream")
+	}
+	st.req.Body = append(st.req.Body, f.Data...)
+	st.bodyLen += len(f.Data)
+	// Replenish the stream window (padding included) so the peer can
+	// keep sending.
+	if f.Length > 0 {
+		if err := sc.fr.WriteWindowUpdate(f.StreamID, f.Length); err != nil {
+			return err
+		}
+	}
+	if f.Flags.Has(FlagEndStream) {
+		st.gotEnd = true
+		sc.startHandler(st)
+	}
+	return nil
+}
+
+func (sc *serverConn) onSettings(f *SettingsFrame) error {
+	if f.IsAck() {
+		return nil
+	}
+	for _, s := range f.Settings {
+		switch s.ID {
+		case SettingInitialWindowSize:
+			if !sc.sendFlow.setInitial(int64(s.Val)) {
+				return connError(ErrCodeFlowControl, "initial window change overflows stream window")
+			}
+		case SettingMaxFrameSize:
+			sc.mu.Lock()
+			sc.maxSendFrame = s.Val
+			sc.mu.Unlock()
+			sc.hwmu.Lock()
+			sc.hw.maxFrameSize = s.Val
+			sc.hwmu.Unlock()
+		case SettingHeaderTableSize:
+			sc.hwmu.Lock()
+			sc.hw.enc.SetMaxDynamicTableSize(s.Val)
+			sc.hwmu.Unlock()
+		}
+	}
+	sc.counters.FramesWritten++
+	return sc.fr.WriteSettingsAck()
+}
+
+func (sc *serverConn) startHandler(st *serverStream) {
+	w := &ResponseWriter{sc: sc, streamID: st.id}
+	authoritative := sc.srv.Authoritative == nil || st.req.Authority == "" ||
+		sc.srv.Authoritative(st.req.Authority)
+	go func() {
+		defer func() {
+			_ = w.Close()
+			sc.closeStream(st.id)
+		}()
+		if !authoritative {
+			sc.mu.Lock()
+			sc.counters.Misdirected++
+			sc.mu.Unlock()
+			w.WriteHeader(421)
+			return
+		}
+		sc.srv.Handler.ServeHTTP2(w, st.req)
+	}()
+}
+
+func (sc *serverConn) closeStream(id uint32) {
+	sc.sendFlow.closeStream(id)
+	sc.mu.Lock()
+	if _, ok := sc.streams[id]; ok {
+		delete(sc.streams, id)
+		sc.activeStreams--
+	}
+	drainDone := sc.draining && sc.activeStreams == 0
+	sc.mu.Unlock()
+	if drainDone {
+		// Last in-flight response finished after a graceful shutdown:
+		// flush and close the transport, ending the read loop.
+		sc.shutdownTransport()
+	}
+}
+
+// A ResponseWriter sends a response on one stream. It is safe for use by
+// a single handler goroutine.
+type ResponseWriter struct {
+	sc          *serverConn
+	streamID    uint32
+	wroteHeader bool
+	closed      bool
+	err         error
+}
+
+// WriteHeader sends the response HEADERS with the given status and
+// additional fields. It may be called once; later calls are no-ops.
+func (w *ResponseWriter) WriteHeader(status int, fields ...hpack.HeaderField) {
+	if w.wroteHeader || w.closed {
+		return
+	}
+	w.wroteHeader = true
+	hf := make([]hpack.HeaderField, 0, len(fields)+1)
+	hf = append(hf, hpack.HeaderField{Name: ":status", Value: strconv.Itoa(status)})
+	for _, f := range fields {
+		f.Name = strings.ToLower(f.Name)
+		hf = append(hf, f)
+	}
+	w.sc.hwmu.Lock()
+	w.err = w.sc.hw.writeHeaders(w.streamID, hf, false)
+	w.sc.hwmu.Unlock()
+}
+
+// Write sends body bytes, implicitly sending a 200 header first if
+// WriteHeader was not called. It honors connection and stream flow
+// control and the peer's SETTINGS_MAX_FRAME_SIZE.
+func (w *ResponseWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("h2: write on closed stream %d", w.streamID)
+	}
+	if !w.wroteHeader {
+		w.WriteHeader(200)
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := 0
+	for len(p) > 0 {
+		w.sc.mu.Lock()
+		maxFrame := int64(w.sc.maxSendFrame)
+		w.sc.mu.Unlock()
+		want := int64(len(p))
+		if want > maxFrame {
+			want = maxFrame
+		}
+		n := w.sc.sendFlow.take(w.streamID, want)
+		if n == 0 {
+			w.err = fmt.Errorf("h2: stream %d closed while writing", w.streamID)
+			return total, w.err
+		}
+		if err := w.sc.fr.WriteData(w.streamID, false, p[:n]); err != nil {
+			w.err = err
+			return total, err
+		}
+		total += int(n)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close ends the stream. If nothing was written, an empty response is
+// sent. Close is idempotent.
+func (w *ResponseWriter) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if !w.wroteHeader {
+		w.WriteHeader(200)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.sc.fr.WriteData(w.streamID, true, nil)
+	return w.err
+}

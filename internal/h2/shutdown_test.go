@@ -1,0 +1,117 @@
+package h2
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrainsInFlight: stop() during an in-flight
+// response sends GOAWAY, the response still completes, new streams are
+// refused, and the connection then closes cleanly.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Path == "/slow" {
+			started <- struct{}{}
+			<-release
+		}
+		w.Write([]byte("done " + r.Path))
+	})}
+	cn, sn := net.Pipe()
+	stop, done := srv.ServeConnGraceful(sn)
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	respCh := make(chan *Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := cc.Get("example.com", "/slow")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	<-started
+
+	// Shut down while the response is in flight.
+	stop()
+	time.Sleep(20 * time.Millisecond)
+
+	// A new stream after GOAWAY is refused.
+	_, err = cc.Get("example.com", "/new")
+	if err == nil {
+		t.Error("new stream accepted during drain")
+	}
+
+	// The in-flight response still completes.
+	close(release)
+	select {
+	case resp := <-respCh:
+		if resp.Status != 200 || string(resp.Body) != "done /slow" {
+			t.Errorf("in-flight response = %d %q", resp.Status, resp.Body)
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight request failed: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight response never completed")
+	}
+
+	// The server exits cleanly once drained.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("server exit = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server never exited after drain")
+	}
+	cc.Close()
+}
+
+// TestGracefulShutdownIdleConnection: stopping an idle connection
+// closes it immediately and cleanly.
+func TestGracefulShutdownIdleConnection(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	stop, done := srv.ServeConnGraceful(sn)
+	cc, err := NewClientConn(cn, ClientConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One completed request, then idle.
+	if _, err := cc.Get("example.com", "/"); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("idle shutdown = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("idle connection never closed")
+	}
+	cc.Close()
+}
+
+// TestGracefulShutdownIdempotent: calling stop twice is safe.
+func TestGracefulShutdownIdempotent(t *testing.T) {
+	srv := &Server{Handler: echoHandler()}
+	cn, sn := net.Pipe()
+	stop, done := srv.ServeConnGraceful(sn)
+	if _, err := NewClientConn(cn, ClientConnOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+}

@@ -1,0 +1,93 @@
+package h2
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// asyncWriter decouples frame production from the transport: writes are
+// appended to an in-memory queue drained by a single pump goroutine.
+//
+// This removes a whole class of deadlocks on synchronous transports
+// (net.Pipe, the in-memory simulator): the read loop may emit control
+// frames (SETTINGS acks, PING acks, WINDOW_UPDATE) without ever blocking
+// on the peer's reader. Real kernels provide the equivalent buffering
+// for TCP sockets.
+//
+// The queue is unbounded; connection owners rely on HTTP/2 flow control,
+// not transport backpressure, to bound buffered data.
+type asyncWriter struct {
+	w io.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+func newAsyncWriter(w io.Writer) *asyncWriter {
+	aw := &asyncWriter{w: w, done: make(chan struct{})}
+	aw.cond = sync.NewCond(&aw.mu)
+	go aw.pump()
+	return aw
+}
+
+// Write queues p. It returns any error previously reported by the
+// underlying writer; the data producing that error may have been queued
+// earlier.
+func (aw *asyncWriter) Write(p []byte) (int, error) {
+	aw.mu.Lock()
+	defer aw.mu.Unlock()
+	if aw.err != nil {
+		return 0, aw.err
+	}
+	if aw.closed {
+		return 0, errors.New("h2: write on closed connection")
+	}
+	aw.buf = append(aw.buf, p...)
+	aw.cond.Signal()
+	return len(p), nil
+}
+
+// Close stops the pump after draining queued data.
+func (aw *asyncWriter) Close() error {
+	aw.mu.Lock()
+	if aw.closed {
+		aw.mu.Unlock()
+		<-aw.done
+		return nil
+	}
+	aw.closed = true
+	aw.cond.Signal()
+	aw.mu.Unlock()
+	<-aw.done
+	return nil
+}
+
+func (aw *asyncWriter) pump() {
+	defer close(aw.done)
+	var chunk []byte
+	for {
+		aw.mu.Lock()
+		for len(aw.buf) == 0 && !aw.closed && aw.err == nil {
+			aw.cond.Wait()
+		}
+		if aw.err != nil || (aw.closed && len(aw.buf) == 0) {
+			aw.mu.Unlock()
+			return
+		}
+		chunk = append(chunk[:0], aw.buf...)
+		aw.buf = aw.buf[:0]
+		aw.mu.Unlock()
+
+		if _, err := aw.w.Write(chunk); err != nil {
+			aw.mu.Lock()
+			aw.err = err
+			aw.mu.Unlock()
+			return
+		}
+	}
+}

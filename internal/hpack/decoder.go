@@ -1,0 +1,131 @@
+package hpack
+
+// A Decoder reads HPACK header blocks. It maintains the decoder-side
+// dynamic table and enforces the capacity limit the connection owner set
+// via SETTINGS_HEADER_TABLE_SIZE.
+//
+// A Decoder is not safe for concurrent use.
+type Decoder struct {
+	dt *dynamicTable
+
+	// maxAllowed is the upper bound for dynamic table size updates,
+	// i.e. the value this endpoint advertised in SETTINGS.
+	maxAllowed uint32
+
+	// maxStringLen bounds individual decoded strings; 0 means no bound.
+	maxStringLen uint64
+}
+
+// NewDecoder returns a Decoder whose dynamic table capacity and update
+// limit are the RFC default of 4096 bytes.
+func NewDecoder() *Decoder {
+	return &Decoder{
+		dt:         newDynamicTable(DefaultDynamicTableSize),
+		maxAllowed: DefaultDynamicTableSize,
+	}
+}
+
+// SetMaxStringLength bounds the length of any single decoded name or
+// value. Zero removes the bound.
+func (d *Decoder) SetMaxStringLength(n uint64) { d.maxStringLen = n }
+
+// SetAllowedMaxDynamicTableSize sets the limit this endpoint advertised
+// for the peer encoder's dynamic table; size updates above it are a
+// compression error.
+func (d *Decoder) SetAllowedMaxDynamicTableSize(n uint32) {
+	d.maxAllowed = n
+	if d.dt.maxSize > n {
+		d.dt.setMaxSize(n)
+	}
+}
+
+// DynamicTableSize reports the current size in bytes of the decoder's
+// dynamic table.
+func (d *Decoder) DynamicTableSize() uint32 { return d.dt.size }
+
+// DecodeFull decodes a complete header block and returns its fields.
+// Any error is a COMPRESSION_ERROR at the HTTP/2 layer.
+func (d *Decoder) DecodeFull(block []byte) ([]HeaderField, error) {
+	var fields []HeaderField
+	seenField := false
+	for len(block) > 0 {
+		b := block[0]
+		switch {
+		case b&0x80 != 0: // §6.1 indexed
+			i, rest, err := readVarInt(block, 7)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := lookup(d.dt, i)
+			if !ok {
+				return nil, ErrInvalidIndex
+			}
+			fields = append(fields, f)
+			block = rest
+			seenField = true
+
+		case b&0xc0 == 0x40: // §6.2.1 literal with incremental indexing
+			f, rest, err := d.readLiteral(block, 6)
+			if err != nil {
+				return nil, err
+			}
+			d.dt.add(f)
+			fields = append(fields, f)
+			block = rest
+			seenField = true
+
+		case b&0xe0 == 0x20: // §6.3 dynamic table size update
+			if seenField {
+				// Updates must precede all fields in a block (§4.2).
+				return nil, ErrTableSizeUpdate
+			}
+			n, rest, err := readVarInt(block, 5)
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(d.maxAllowed) {
+				return nil, ErrTableSizeUpdate
+			}
+			d.dt.setMaxSize(uint32(n))
+			block = rest
+
+		default: // §6.2.2 / §6.2.3 literal without indexing / never indexed
+			sensitive := b&0xf0 == 0x10
+			f, rest, err := d.readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			f.Sensitive = sensitive
+			fields = append(fields, f)
+			block = rest
+			seenField = true
+		}
+	}
+	return fields, nil
+}
+
+// readLiteral reads a literal field whose name-index prefix is n bits.
+func (d *Decoder) readLiteral(block []byte, n uint8) (HeaderField, []byte, error) {
+	idx, rest, err := readVarInt(block, n)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var f HeaderField
+	if idx != 0 {
+		ref, ok := lookup(d.dt, idx)
+		if !ok {
+			return HeaderField{}, nil, ErrInvalidIndex
+		}
+		f.Name = ref.Name
+	} else {
+		f.Name, rest, err = readString(rest, d.maxStringLen)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	f.Value, rest, err = readString(rest, d.maxStringLen)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return f, rest, nil
+}

@@ -1,0 +1,165 @@
+// Package hpack implements HPACK header compression for HTTP/2 as
+// specified by RFC 7541.
+//
+// The package provides an Encoder and a Decoder operating on complete
+// header blocks, the primitive integer and string representations from
+// RFC 7541 §5, the full static table from Appendix A, a size-bounded
+// dynamic table with FIFO eviction, and canonical Huffman coding from
+// Appendix B.
+//
+// It is written from scratch against the RFC; the Huffman code table is
+// the canonical table published in RFC 7541 Appendix B.
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A HeaderField is a name/value pair carried in a header block.
+type HeaderField struct {
+	Name  string
+	Value string
+
+	// Sensitive marks the field as never-indexed (RFC 7541 §6.2.3):
+	// intermediaries must not add it to any dynamic table.
+	Sensitive bool
+}
+
+// String renders the field as "name: value" with a secrecy marker for
+// sensitive fields.
+func (f HeaderField) String() string {
+	var suffix string
+	if f.Sensitive {
+		suffix = " (sensitive)"
+	}
+	return fmt.Sprintf("%s: %s%s", f.Name, f.Value, suffix)
+}
+
+// Size returns the RFC 7541 §4.1 size of the field: name length plus
+// value length plus 32 bytes of per-entry overhead.
+func (f HeaderField) Size() uint32 {
+	return uint32(len(f.Name)) + uint32(len(f.Value)) + 32
+}
+
+// DefaultDynamicTableSize is the SETTINGS_HEADER_TABLE_SIZE default from
+// RFC 9113 §6.5.2.
+const DefaultDynamicTableSize = 4096
+
+// Decoding errors.
+var (
+	// ErrStringLength is returned when a decoded string exceeds the
+	// decoder's configured maximum.
+	ErrStringLength = errors.New("hpack: string too long")
+
+	// ErrInvalidIndex is returned for an index outside both tables.
+	ErrInvalidIndex = errors.New("hpack: invalid table index")
+
+	// ErrIntegerOverflow is returned when a varint exceeds 32 bits.
+	ErrIntegerOverflow = errors.New("hpack: integer overflow")
+
+	// ErrTruncated is returned when a header block ends mid-field.
+	ErrTruncated = errors.New("hpack: truncated header block")
+
+	// ErrTableSizeUpdate is returned for a dynamic table size update
+	// exceeding the limit set by the decoder's owner.
+	ErrTableSizeUpdate = errors.New("hpack: dynamic table size update exceeds limit")
+
+	// ErrHuffman is returned for invalid Huffman-coded data, including
+	// the forbidden 30-bit-padding EOS encoding.
+	ErrHuffman = errors.New("hpack: invalid huffman-coded data")
+)
+
+// appendVarInt appends the RFC 7541 §5.1 prefix-integer representation of
+// i using an n-bit prefix (1 ≤ n ≤ 8) OR-ed into first, which carries the
+// pattern bits above the prefix.
+func appendVarInt(dst []byte, n uint8, first byte, i uint64) []byte {
+	k := uint64(1)<<n - 1
+	if i < k {
+		return append(dst, first|byte(i))
+	}
+	dst = append(dst, first|byte(k))
+	i -= k
+	for i >= 128 {
+		dst = append(dst, byte(i)|0x80)
+		i >>= 7
+	}
+	return append(dst, byte(i))
+}
+
+// readVarInt decodes an n-bit-prefix integer from buf. It returns the
+// value and the remaining bytes.
+func readVarInt(buf []byte, n uint8) (uint64, []byte, error) {
+	if len(buf) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	k := uint64(1)<<n - 1
+	i := uint64(buf[0]) & k
+	buf = buf[1:]
+	if i < k {
+		return i, buf, nil
+	}
+	var shift uint
+	for {
+		if len(buf) == 0 {
+			return 0, nil, ErrTruncated
+		}
+		b := buf[0]
+		buf = buf[1:]
+		i += uint64(b&0x7f) << shift
+		if i > 1<<32 {
+			return 0, nil, ErrIntegerOverflow
+		}
+		if b&0x80 == 0 {
+			return i, buf, nil
+		}
+		shift += 7
+		if shift > 62 {
+			return 0, nil, ErrIntegerOverflow
+		}
+	}
+}
+
+// appendString appends the §5.2 string literal representation of s.
+// When huffman is true and Huffman coding shortens the string, the
+// Huffman form is used; otherwise the raw form is used.
+func appendString(dst []byte, s string, huffman bool) []byte {
+	if huffman {
+		if hl := HuffmanEncodeLength(s); hl < uint64(len(s)) {
+			dst = appendVarInt(dst, 7, 0x80, hl)
+			return AppendHuffmanString(dst, s)
+		}
+	}
+	dst = appendVarInt(dst, 7, 0, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readString decodes a §5.2 string literal, applying Huffman decoding
+// when the H bit is set. maxLen bounds the decoded length; zero means
+// unbounded.
+func readString(buf []byte, maxLen uint64) (string, []byte, error) {
+	if len(buf) == 0 {
+		return "", nil, ErrTruncated
+	}
+	huff := buf[0]&0x80 != 0
+	n, rest, err := readVarInt(buf, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrTruncated
+	}
+	raw := rest[:n]
+	rest = rest[n:]
+	if !huff {
+		if maxLen > 0 && n > maxLen {
+			return "", nil, ErrStringLength
+		}
+		return string(raw), rest, nil
+	}
+	s, err := HuffmanDecode(raw, maxLen)
+	if err != nil {
+		return "", nil, err
+	}
+	return s, rest, nil
+}

@@ -1,0 +1,250 @@
+// Package measure provides the statistics toolkit used by the modeling
+// and deployment harnesses: order statistics (median, arbitrary
+// percentiles, interquartile range), empirical CDFs, frequency
+// histograms, and longitudinal time series with control/experiment
+// labeling — the quantities every table and figure in the paper reports.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the order statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P25    float64
+	P75    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	IQR    float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	q := func(p float64) float64 { return quantileSorted(s, p) }
+	out := Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+		Median: q(0.50),
+		P25:    q(0.25),
+		P75:    q(0.75),
+		P90:    q(0.90),
+		P95:    q(0.95),
+		P99:    q(0.99),
+	}
+	out.IQR = out.P75 - out.P25
+	return out
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianInts is Median over integer samples.
+func MedianInts(xs []int) float64 {
+	f := make([]float64, len(xs))
+	for i, v := range xs {
+		f[i] = float64(v)
+	}
+	return Median(f)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples ≤ X
+}
+
+// CDF computes the empirical CDF of xs with one point per distinct value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var pts []CDFPoint
+	n := float64(len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		pts = append(pts, CDFPoint{X: s[i], P: float64(j) / n})
+		i = j
+	}
+	return pts
+}
+
+// CDFAt evaluates an empirical CDF at x.
+func CDFAt(pts []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range pts {
+		if pt.X > x {
+			break
+		}
+		p = pt.P
+	}
+	return p
+}
+
+// Histogram counts samples per integer value.
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int)
+	for _, v := range xs {
+		h[v]++
+	}
+	return h
+}
+
+// FormatCDF renders selected percentiles of a CDF for report output.
+func FormatCDF(name string, xs []float64) string {
+	s := Summarize(xs)
+	return fmt.Sprintf("%-34s n=%-7d p25=%-8.1f p50=%-8.1f p75=%-8.1f p90=%-8.1f p99=%.1f",
+		name, s.N, s.P25, s.Median, s.P75, s.P90, s.P99)
+}
+
+// ReductionPct returns the percentage reduction from base to new
+// (positive = improvement).
+func ReductionPct(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - now) / base
+}
+
+// Counter tallies string-keyed occurrences and reports ranked shares,
+// the shape of Tables 2, 4, 5, 6, 7 and 9.
+type Counter struct {
+	counts map[string]int64
+	total  int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int64) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int64 { return c.total }
+
+// Count returns the count for one key.
+func (c *Counter) Count(key string) int64 { return c.counts[key] }
+
+// RankedEntry is one row of a ranked share table.
+type RankedEntry struct {
+	Key   string
+	Count int64
+	Share float64 // percent of total
+}
+
+// Top returns the n highest-count entries with their share of the total.
+// Ties break lexicographically for determinism.
+func (c *Counter) Top(n int) []RankedEntry {
+	entries := make([]RankedEntry, 0, len(c.counts))
+	for k, v := range c.counts {
+		share := 0.0
+		if c.total > 0 {
+			share = 100 * float64(v) / float64(c.total)
+		}
+		entries = append(entries, RankedEntry{Key: k, Count: v, Share: share})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if n > 0 && len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// TableString renders the top-n entries as an aligned text table.
+func (c *Counter) TableString(title string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	cum := 0.0
+	for i, e := range c.Top(n) {
+		cum += e.Share
+		fmt.Fprintf(&b, "%3d  %-42s %12d  %6.2f%%\n", i+1, e.Key, e.Count, e.Share)
+	}
+	fmt.Fprintf(&b, "     %-42s %12s  %6.2f%% (cumulative)\n", "", "", cum)
+	return b.String()
+}
+
+// Series is a labeled longitudinal series of per-bucket values, e.g.
+// daily new-TLS-connection counts for control vs experiment (Figure 8).
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Mean returns the mean of the series values within [lo, hi) bucket
+// indexes, clamped to the series bounds.
+func (s Series) Mean(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	if hi <= lo {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}

@@ -1,0 +1,180 @@
+package measure
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median != 5.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P25 != 3.25 || s.P75 != 7.75 {
+		t.Errorf("quartiles = %v, %v", s.P25, s.P75)
+	}
+	if math.Abs(s.IQR-4.5) > 1e-9 {
+		t.Errorf("IQR = %v", s.IQR)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 2 {
+		t.Error("median wrong")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 1)
+		pb := math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Quantile(xs, pa) <= Quantile(xs, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	if MedianInts([]int{1, 2, 3, 4}) != 2.5 {
+		t.Error("MedianInts wrong")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2, 3, 3, 3})
+	want := []CDFPoint{{1, 2.0 / 6}, {2, 3.0 / 6}, {3, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("pts = %v", pts)
+	}
+	for i := range pts {
+		if pts[i] != want[i] {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDFAt(pts, 0.5) != 0 || CDFAt(pts, 1) != 2.0/6 || CDFAt(pts, 2.5) != 0.5 || CDFAt(pts, 99) != 1 {
+		t.Error("CDFAt wrong")
+	}
+}
+
+func TestCDFIsMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		pts := CDF(xs)
+		if len(xs) == 0 {
+			return pts == nil
+		}
+		if pts[len(pts)-1].P != 1 {
+			return false
+		}
+		return sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) &&
+			sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].P < pts[j].P })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 1 || len(h) != 3 {
+		t.Errorf("h = %v", h)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if ReductionPct(16, 5) < 68 || ReductionPct(16, 5) > 69 {
+		t.Errorf("reduction = %v", ReductionPct(16, 5))
+	}
+	if ReductionPct(0, 5) != 0 {
+		t.Error("zero base not handled")
+	}
+}
+
+func TestCounterRanking(t *testing.T) {
+	c := NewCounter()
+	c.Add("google", 50)
+	c.Add("cloudflare", 30)
+	c.Add("amazon", 20)
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "google" || top[1].Key != "cloudflare" {
+		t.Errorf("top = %v", top)
+	}
+	if top[0].Share != 50 {
+		t.Errorf("share = %v", top[0].Share)
+	}
+	if c.Total() != 100 || c.Count("amazon") != 20 {
+		t.Error("totals wrong")
+	}
+	if s := c.TableString("title", 3); s == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestCounterTieBreak(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 5)
+	c.Add("a", 5)
+	top := c.Top(0)
+	if top[0].Key != "a" || top[1].Key != "b" {
+		t.Errorf("tie break = %v", top)
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := Series{Label: "x", Values: []float64{1, 2, 3, 4}}
+	if s.Mean(1, 3) != 2.5 {
+		t.Errorf("mean = %v", s.Mean(1, 3))
+	}
+	if s.Mean(-5, 99) != 2.5 {
+		t.Errorf("clamped mean = %v", s.Mean(-5, 99))
+	}
+	if s.Mean(3, 3) != 0 {
+		t.Error("empty window not zero")
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	if FormatCDF("dns", []float64{1, 2, 3}) == "" {
+		t.Error("empty format")
+	}
+}

@@ -1,0 +1,176 @@
+// Package netsim is the network cost model behind the synthetic dataset
+// and the deployment simulator: a deterministic, seedable source of DNS
+// lookup times, TCP and TLS handshake times, transfer times, and the
+// client race behaviours (happy eyeballs, speculative connections) that
+// the paper identifies as the source of the measured DNS-vs-TLS count
+// gap (§4.2).
+//
+// All durations are in milliseconds, matching the HAR timing model.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Params configures the latency model.
+type Params struct {
+	// RTTMs is the base client↔server round-trip time.
+	RTTMs float64
+	// JitterMs bounds the uniform jitter added to every phase.
+	JitterMs float64
+	// DNSMs is the base resolver latency for an uncached query.
+	DNSMs float64
+	// TLSRoundTrips is the handshake cost in RTTs (1 for TLS 1.3,
+	// 2 for TLS 1.2).
+	TLSRoundTrips float64
+	// ServerThinkMs is the base time-to-first-byte at the server.
+	ServerThinkMs float64
+	// BandwidthKBps is the downstream bandwidth for transfer time.
+	BandwidthKBps float64
+	// CertVerifyMs is the client-side certificate validation cost added
+	// to every fresh TLS handshake (the §4.2 cryptographic overhead).
+	CertVerifyMs float64
+	// ExtraCertVerifyPerSANMs grows validation cost with SAN count,
+	// modelling the large-certificate concern of §6.5.
+	ExtraCertVerifyPerSANMs float64
+
+	// HappyEyeballsProb is the probability a fresh connection races a
+	// second (IPv6/IPv4) connection, producing an extra DNS query.
+	HappyEyeballsProb float64
+	// SpeculativeProb is the probability the browser opens a
+	// speculative extra connection to a host it expects to need.
+	SpeculativeProb float64
+}
+
+// DefaultParams are broadband-like conditions: 25 ms RTT, TLS 1.3,
+// 50 Mbit/s.
+func DefaultParams() Params {
+	return Params{
+		RTTMs:                   90,
+		JitterMs:                8,
+		DNSMs:                   110,
+		TLSRoundTrips:           2,
+		ServerThinkMs:           25,
+		BandwidthKBps:           6250,
+		CertVerifyMs:            5,
+		ExtraCertVerifyPerSANMs: 0.01,
+		HappyEyeballsProb:       0.10,
+		SpeculativeProb:         0.35,
+	}
+}
+
+// Network generates phase durations. It is safe for concurrent use.
+type Network struct {
+	P Params
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a deterministic network for the given seed.
+func New(p Params, seed int64) *Network {
+	return &Network{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (n *Network) jitter() float64 {
+	if n.P.JitterMs <= 0 {
+		return 0
+	}
+	return n.rng.Float64() * n.P.JitterMs
+}
+
+// DNSTime returns the duration of one DNS lookup.
+func (n *Network) DNSTime() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.P.DNSMs + n.jitter()
+}
+
+// ConnectTime returns the TCP handshake duration (one RTT).
+func (n *Network) ConnectTime() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.P.RTTMs + n.jitter()
+}
+
+// TLSTime returns the TLS handshake duration for a certificate chain
+// with sanCount names spanning tlsRecords records. Chains above one TLS
+// record cost an extra round trip (§6.5).
+func (n *Network) TLSTime(sanCount, tlsRecords int) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rtts := n.P.TLSRoundTrips
+	if tlsRecords > 1 {
+		rtts += float64(tlsRecords - 1)
+	}
+	return rtts*n.P.RTTMs + n.P.CertVerifyMs +
+		float64(sanCount)*n.P.ExtraCertVerifyPerSANMs + n.jitter()
+}
+
+// WaitTime returns time-to-first-byte after the request is sent.
+func (n *Network) WaitTime() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.P.ServerThinkMs + n.P.RTTMs/2 + n.jitter()
+}
+
+// TransferTime returns the receive duration for a body of size bytes.
+func (n *Network) TransferTime(bytes int64) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.P.BandwidthKBps <= 0 {
+		return 0
+	}
+	return float64(bytes)/n.P.BandwidthKBps + n.jitter()/4
+}
+
+// RaceEffects reports the client race behaviours for one fresh
+// connection: extraDNS counts duplicate queries from happy eyeballs,
+// and speculative reports whether an extra speculative TLS connection
+// is opened. These inflate measured DNS/TLS counts above the one-per-
+// service ideal (§4.2).
+func (n *Network) RaceEffects() (extraDNS int, speculative bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rng.Float64() < n.P.HappyEyeballsProb {
+		extraDNS++
+	}
+	speculative = n.rng.Float64() < n.P.SpeculativeProb
+	return
+}
+
+// Float64 exposes the deterministic RNG stream for callers that need
+// auxiliary randomness tied to the same seed.
+func (n *Network) Float64() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
+// Intn exposes the deterministic RNG stream.
+func (n *Network) Intn(m int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Intn(m)
+}
+
+// Clock is a virtual millisecond clock for longitudinal simulations.
+type Clock struct {
+	mu sync.Mutex
+	ms float64
+}
+
+// NowMs returns the current virtual time.
+func (c *Clock) NowMs() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ms
+}
+
+// AdvanceMs moves the clock forward by d milliseconds.
+func (c *Clock) AdvanceMs(d float64) {
+	c.mu.Lock()
+	c.ms += d
+	c.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(DefaultParams(), 42)
+	b := New(DefaultParams(), 42)
+	for i := 0; i < 100; i++ {
+		if a.DNSTime() != b.DNSTime() || a.TLSTime(3, 1) != b.TLSTime(3, 1) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(DefaultParams(), 43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.DNSTime() != c.DNSTime() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestPhaseBounds(t *testing.T) {
+	p := DefaultParams()
+	n := New(p, 1)
+	for i := 0; i < 1000; i++ {
+		if d := n.DNSTime(); d < p.DNSMs || d > p.DNSMs+p.JitterMs {
+			t.Fatalf("DNS time %v out of bounds", d)
+		}
+		if c := n.ConnectTime(); c < p.RTTMs || c > p.RTTMs+p.JitterMs {
+			t.Fatalf("connect time %v out of bounds", c)
+		}
+		if w := n.WaitTime(); w < p.ServerThinkMs {
+			t.Fatalf("wait time %v below think time", w)
+		}
+	}
+}
+
+func TestTLSTimeGrowsWithRecords(t *testing.T) {
+	p := DefaultParams()
+	p.JitterMs = 0
+	n := New(p, 1)
+	one := n.TLSTime(2, 1)
+	three := n.TLSTime(2, 3)
+	if three <= one {
+		t.Errorf("3-record handshake (%v) not slower than 1-record (%v)", three, one)
+	}
+	if diff := three - one - 2*p.RTTMs; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("extra records cost %v, want %v", three-one, 2*p.RTTMs)
+	}
+}
+
+func TestTLSTimeGrowsWithSANs(t *testing.T) {
+	p := DefaultParams()
+	p.JitterMs = 0
+	n := New(p, 1)
+	small := n.TLSTime(2, 1)
+	big := n.TLSTime(2000, 1)
+	if big <= small {
+		t.Error("SAN count does not increase validation cost")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := DefaultParams()
+	p.JitterMs = 0
+	n := New(p, 1)
+	if got := n.TransferTime(6250); got != 1 {
+		t.Errorf("6250 bytes at 6250 KB/s = %v ms, want 1", got)
+	}
+	p.BandwidthKBps = 0
+	n2 := New(p, 1)
+	if n2.TransferTime(100000) != 0 {
+		t.Error("zero bandwidth should skip transfer model")
+	}
+}
+
+func TestRaceEffectsFrequencies(t *testing.T) {
+	p := DefaultParams()
+	p.HappyEyeballsProb = 0.5
+	p.SpeculativeProb = 0.25
+	n := New(p, 99)
+	he, spec := 0, 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		e, s := n.RaceEffects()
+		he += e
+		if s {
+			spec++
+		}
+	}
+	if f := float64(he) / trials; f < 0.45 || f > 0.55 {
+		t.Errorf("happy eyeballs frequency %v, want ~0.5", f)
+	}
+	if f := float64(spec) / trials; f < 0.2 || f > 0.3 {
+		t.Errorf("speculative frequency %v, want ~0.25", f)
+	}
+}
+
+func TestRaceEffectsDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.HappyEyeballsProb = 0
+	p.SpeculativeProb = 0
+	n := New(p, 1)
+	for i := 0; i < 100; i++ {
+		if e, s := n.RaceEffects(); e != 0 || s {
+			t.Fatal("race effects fired with zero probabilities")
+		}
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.NowMs() != 0 {
+		t.Error("clock not zeroed")
+	}
+	c.AdvanceMs(1500)
+	c.AdvanceMs(500)
+	if c.NowMs() != 2000 {
+		t.Errorf("clock = %v", c.NowMs())
+	}
+}

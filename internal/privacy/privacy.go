@@ -1,0 +1,175 @@
+// Package privacy quantifies the paper's §6.2 argument — the authors'
+// stated *primary* motivation for ORIGIN frames: every coalesced
+// connection removes cleartext signals from the network path that
+// on-path observers use to profile user activity.
+//
+// Two signal families are modelled per page load:
+//
+//   - DNS queries over UDP/TCP port 53, which expose the queried
+//     hostname in cleartext unless DoT/DoH is deployed;
+//   - TLS ClientHello SNI values, which expose the hostname unless
+//     Encrypted Client Hello is deployed.
+//
+// Exposure reports how many distinct hostnames an on-path observer
+// learns under a client configuration, and how coalescing (which
+// removes both the DNS query and the new handshake) compares with
+// transport encryption (DoH/ECH, which hides the signal but still
+// spends the round trips).
+package privacy
+
+import (
+	"fmt"
+	"strings"
+
+	"respectorigin/internal/core"
+	"respectorigin/internal/har"
+	"respectorigin/internal/measure"
+)
+
+// ClientConfig describes the privacy-relevant client configuration.
+type ClientConfig struct {
+	// EncryptedDNS models DoT/DoH: DNS queries leave no cleartext
+	// hostname on path.
+	EncryptedDNS bool
+	// EncryptedClientHello models ECH: the SNI is encrypted.
+	EncryptedClientHello bool
+	// Coalescing selects the connection-reuse model applied to the
+	// timeline before counting signals.
+	Coalescing core.Mode
+	// CoalescingEnabled toggles whether Coalescing applies at all.
+	CoalescingEnabled bool
+}
+
+// Exposure is the per-page cleartext footprint.
+type Exposure struct {
+	// DNSQueries and TLSHandshakes count network events.
+	DNSQueries    int
+	TLSHandshakes int
+	// CleartextDNSHosts and CleartextSNIHosts are the distinct
+	// hostnames leaked via each channel.
+	CleartextDNSHosts []string
+	CleartextSNIHosts []string
+}
+
+// LeakedHosts returns the union of hostnames an on-path observer
+// learns, sorted.
+func (e Exposure) LeakedHosts() []string {
+	set := map[string]bool{}
+	for _, h := range e.CleartextDNSHosts {
+		set[h] = true
+	}
+	for _, h := range e.CleartextSNIHosts {
+		set[h] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Analyze computes the exposure of one page load under a client
+// configuration. Coalescing removes the DNS query and handshake (and
+// therefore both signals); encryption hides a signal but keeps the
+// event.
+func Analyze(p *har.Page, cfg ClientConfig) Exposure {
+	page := p
+	if cfg.CoalescingEnabled {
+		page = core.Reconstruct(p, cfg.Coalescing, 0)
+	}
+	var e Exposure
+	dnsSeen := map[string]bool{}
+	sniSeen := map[string]bool{}
+	for i := range page.Entries {
+		ent := &page.Entries[i]
+		if ent.NewDNS {
+			e.DNSQueries++
+			if !cfg.EncryptedDNS && !dnsSeen[ent.Host] {
+				dnsSeen[ent.Host] = true
+				e.CleartextDNSHosts = append(e.CleartextDNSHosts, ent.Host)
+			}
+		}
+		if ent.NewTLS {
+			e.TLSHandshakes++
+			if !cfg.EncryptedClientHello && !sniSeen[ent.Host] {
+				sniSeen[ent.Host] = true
+				e.CleartextSNIHosts = append(e.CleartextSNIHosts, ent.Host)
+			}
+		}
+	}
+	sortStrings(e.CleartextDNSHosts)
+	sortStrings(e.CleartextSNIHosts)
+	return e
+}
+
+// Scenario is a named client configuration for comparison tables.
+type Scenario struct {
+	Name string
+	Cfg  ClientConfig
+}
+
+// StandardScenarios are the §6.2 comparison points: today's default
+// client, coalescing alone, transport encryption alone, and both.
+func StandardScenarios() []Scenario {
+	return []Scenario{
+		{"baseline (no coalescing, cleartext)", ClientConfig{}},
+		{"origin coalescing only", ClientConfig{
+			CoalescingEnabled: true, Coalescing: core.ModeOrigin}},
+		{"DoH + ECH only", ClientConfig{
+			EncryptedDNS: true, EncryptedClientHello: true}},
+		{"origin coalescing + DoH + ECH", ClientConfig{
+			CoalescingEnabled: true, Coalescing: core.ModeOrigin,
+			EncryptedDNS: true, EncryptedClientHello: true}},
+	}
+}
+
+// CorpusExposure aggregates a scenario over a corpus.
+type CorpusExposure struct {
+	Scenario          string
+	MedianLeakedHosts float64
+	MedianDNSQueries  float64
+	MedianHandshakes  float64
+}
+
+// AnalyzeCorpus compares scenarios over a corpus of pages.
+func AnalyzeCorpus(pages []*har.Page, scenarios []Scenario) []CorpusExposure {
+	out := make([]CorpusExposure, 0, len(scenarios))
+	for _, sc := range scenarios {
+		var leaked, dns, hs []float64
+		for _, p := range pages {
+			e := Analyze(p, sc.Cfg)
+			leaked = append(leaked, float64(len(e.LeakedHosts())))
+			dns = append(dns, float64(e.DNSQueries))
+			hs = append(hs, float64(e.TLSHandshakes))
+		}
+		out = append(out, CorpusExposure{
+			Scenario:          sc.Name,
+			MedianLeakedHosts: measure.Median(leaked),
+			MedianDNSQueries:  measure.Median(dns),
+			MedianHandshakes:  measure.Median(hs),
+		})
+	}
+	return out
+}
+
+// Report renders a comparison table.
+func Report(rows []CorpusExposure) string {
+	var sb strings.Builder
+	sb.WriteString("Privacy exposure per page load (§6.2), medians:\n")
+	sb.WriteString("  scenario                                   leaked-hosts  dns-events  handshakes\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-42s %12.0f %11.0f %11.0f\n",
+			r.Scenario, r.MedianLeakedHosts, r.MedianDNSQueries, r.MedianHandshakes)
+	}
+	sb.WriteString("  (coalescing removes the events; DoH/ECH only hides their contents)\n")
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

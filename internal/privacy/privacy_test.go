@@ -1,0 +1,127 @@
+package privacy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"respectorigin/internal/core"
+	"respectorigin/internal/har"
+	"respectorigin/internal/webgen"
+)
+
+func testPage(t *testing.T) *har.Page {
+	t.Helper()
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 40
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Pages {
+		if len(p.Hosts()) >= 5 {
+			return p
+		}
+	}
+	t.Fatal("no multi-host page")
+	return nil
+}
+
+func TestBaselineLeaksEveryFreshHost(t *testing.T) {
+	p := testPage(t)
+	e := Analyze(p, ClientConfig{})
+	if e.DNSQueries == 0 || e.TLSHandshakes == 0 {
+		t.Fatalf("no events: %+v", e)
+	}
+	if len(e.CleartextDNSHosts) == 0 || len(e.CleartextSNIHosts) == 0 {
+		t.Fatal("baseline leaked nothing")
+	}
+	// Every host with a fresh DNS query leaks via DNS.
+	fresh := map[string]bool{}
+	for _, ent := range p.Entries {
+		if ent.NewDNS {
+			fresh[ent.Host] = true
+		}
+	}
+	if len(e.CleartextDNSHosts) != len(fresh) {
+		t.Errorf("leaked %d DNS hosts, want %d", len(e.CleartextDNSHosts), len(fresh))
+	}
+}
+
+func TestEncryptionHidesButKeepsEvents(t *testing.T) {
+	p := testPage(t)
+	base := Analyze(p, ClientConfig{})
+	enc := Analyze(p, ClientConfig{EncryptedDNS: true, EncryptedClientHello: true})
+	if len(enc.LeakedHosts()) != 0 {
+		t.Errorf("encryption leaked %v", enc.LeakedHosts())
+	}
+	// The network events are unchanged: encryption costs the same RTTs.
+	if enc.DNSQueries != base.DNSQueries || enc.TLSHandshakes != base.TLSHandshakes {
+		t.Errorf("encryption changed event counts: %+v vs %+v", enc, base)
+	}
+}
+
+func TestCoalescingRemovesEventsAndLeaks(t *testing.T) {
+	p := testPage(t)
+	base := Analyze(p, ClientConfig{})
+	coal := Analyze(p, ClientConfig{CoalescingEnabled: true, Coalescing: core.ModeOrigin})
+	if coal.DNSQueries >= base.DNSQueries {
+		t.Errorf("coalescing did not reduce DNS events: %d vs %d", coal.DNSQueries, base.DNSQueries)
+	}
+	if coal.TLSHandshakes >= base.TLSHandshakes {
+		t.Errorf("coalescing did not reduce handshakes: %d vs %d", coal.TLSHandshakes, base.TLSHandshakes)
+	}
+	if len(coal.LeakedHosts()) >= len(base.LeakedHosts()) {
+		t.Errorf("coalescing did not reduce leaked hosts: %d vs %d",
+			len(coal.LeakedHosts()), len(base.LeakedHosts()))
+	}
+}
+
+func TestLeakedHostsUnion(t *testing.T) {
+	e := Exposure{
+		CleartextDNSHosts: []string{"b.example", "a.example"},
+		CleartextSNIHosts: []string{"b.example", "c.example"},
+	}
+	want := []string{"a.example", "b.example", "c.example"}
+	if got := e.LeakedHosts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v", got)
+	}
+}
+
+func TestCorpusScenarioOrdering(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 300
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := AnalyzeCorpus(ds.Pages, StandardScenarios())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	baseline, coalOnly, encOnly, both := rows[0], rows[1], rows[2], rows[3]
+
+	// Coalescing reduces leaked hosts AND events.
+	if coalOnly.MedianLeakedHosts >= baseline.MedianLeakedHosts {
+		t.Error("coalescing did not reduce median leaked hosts")
+	}
+	if coalOnly.MedianHandshakes >= baseline.MedianHandshakes {
+		t.Error("coalescing did not reduce median handshakes")
+	}
+	// Encryption zeroes leaks but keeps event counts.
+	if encOnly.MedianLeakedHosts != 0 {
+		t.Errorf("DoH+ECH still leaks %.0f hosts", encOnly.MedianLeakedHosts)
+	}
+	if encOnly.MedianHandshakes != baseline.MedianHandshakes {
+		t.Error("encryption changed handshake count")
+	}
+	// Both: zero leaks and fewer events.
+	if both.MedianLeakedHosts != 0 || both.MedianHandshakes >= baseline.MedianHandshakes {
+		t.Errorf("combined scenario wrong: %+v", both)
+	}
+
+	txt := Report(rows)
+	if !strings.Contains(txt, "Privacy exposure") || !strings.Contains(txt, "DoH") {
+		t.Error("report format")
+	}
+}

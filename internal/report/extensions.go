@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"respectorigin/internal/privacy"
+	"respectorigin/internal/sched"
+)
+
+// PrivacyReport runs the §6.2 privacy-exposure comparison over the
+// corpus: baseline vs coalescing vs DoH/ECH vs both.
+func (c *Corpus) PrivacyReport() ([]privacy.CorpusExposure, string) {
+	rows := privacy.AnalyzeCorpus(c.DS.Pages, privacy.StandardScenarios())
+	return rows, privacy.Report(rows)
+}
+
+// SchedulingReport runs the §6.1 delivery-ordering comparison on a
+// representative page workload derived from the corpus: the resources
+// of the first page with ≥ 12 entries, prioritized by content type.
+func (c *Corpus) SchedulingReport(connections int) (sched.Comparison, string) {
+	var resources []sched.Resource
+	for _, p := range c.DS.Pages {
+		if len(p.Entries) < 12 {
+			continue
+		}
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			resources = append(resources, sched.Resource{
+				ID:       uint32(2*i + 1),
+				Priority: priorityForMime(e.MimeType),
+				Bytes:    float64(e.BodySize),
+			})
+			if len(resources) == 24 {
+				break
+			}
+		}
+		break
+	}
+	cmp := sched.Compare(resources, sched.ParallelParams{
+		Connections:       connections,
+		BandwidthKBps:     6250,
+		HandshakeMs:       150,
+		HandshakeJitterMs: 180,
+		SlowStartPenalty:  2,
+		Seed:              1,
+	})
+	var sb strings.Builder
+	sb.WriteString(cmp.Report())
+	fmt.Fprintf(&sb, "  (workload: %d resources over %d parallel connections vs 1 coalesced)\n",
+		len(resources), connections)
+	return cmp, sb.String()
+}
+
+// priorityForMime maps content types to render priorities (0 = most
+// critical).
+func priorityForMime(mime string) int {
+	switch {
+	case mime == "text/html":
+		return 0
+	case mime == "text/css":
+		return 1
+	case strings.Contains(mime, "javascript"):
+		return 2
+	case strings.HasPrefix(mime, "font/"):
+		return 3
+	default:
+		return 4
+	}
+}

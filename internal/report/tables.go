@@ -1,0 +1,313 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from a corpus (internal/webgen) and a deployment
+// simulation (internal/cdn). Each Table*/Figure* function returns a
+// structured result plus a formatted text rendering, so the same code
+// backs the cmd/report binary, the benchmark harness, and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"respectorigin/internal/asn"
+	"respectorigin/internal/core"
+	"respectorigin/internal/har"
+	"respectorigin/internal/measure"
+	"respectorigin/internal/webgen"
+)
+
+// Corpus wraps a generated dataset with memoized per-page analyses.
+type Corpus struct {
+	DS *webgen.Dataset
+
+	counts []core.PageCounts
+	plans  []core.CertPlan
+}
+
+// NewCorpus builds a Corpus, computing per-page counts and cert plans.
+func NewCorpus(ds *webgen.Dataset) *Corpus {
+	c := &Corpus{DS: ds}
+	c.counts = make([]core.PageCounts, len(ds.Pages))
+	c.plans = make([]core.CertPlan, len(ds.Pages))
+	for i, p := range ds.Pages {
+		c.counts[i] = core.CountPage(p)
+		c.plans[i] = core.PlanCertChanges(p)
+	}
+	return c
+}
+
+// Counts returns the memoized per-page §4.2 counts.
+func (c *Corpus) Counts() []core.PageCounts { return c.counts }
+
+// Plans returns the memoized per-page §4.3 certificate plans.
+func (c *Corpus) Plans() []core.CertPlan { return c.plans }
+
+func (c *Corpus) orgOf(a uint32) string { return c.DS.ASDB.Org(asn.ASN(a)) }
+
+// Table1Row is one popularity bucket of Table 1.
+type Table1Row struct {
+	Bucket     string
+	Success    int
+	MedianReqs float64
+	MedianPLT  float64
+	MedianDNS  float64
+	MedianTLS  float64
+}
+
+// Table1 reproduces Table 1: per-rank-bucket successes and medians.
+func (c *Corpus) Table1(buckets int) ([]Table1Row, string) {
+	if buckets <= 0 {
+		buckets = 5
+	}
+	maxRank := 0
+	for _, p := range c.DS.Pages {
+		if p.Rank > maxRank {
+			maxRank = p.Rank
+		}
+	}
+	size := (maxRank + buckets - 1) / buckets
+	if size == 0 {
+		size = 1
+	}
+	type acc struct {
+		reqs, plt, dns, tls []float64
+	}
+	accs := make([]acc, buckets)
+	for _, p := range c.DS.Pages {
+		b := (p.Rank - 1) / size
+		if b >= buckets {
+			b = buckets - 1
+		}
+		accs[b].reqs = append(accs[b].reqs, float64(len(p.Entries)))
+		accs[b].plt = append(accs[b].plt, p.PLT())
+		accs[b].dns = append(accs[b].dns, float64(p.DNSQueries()))
+		accs[b].tls = append(accs[b].tls, float64(p.TLSConnections()))
+	}
+	var rows []Table1Row
+	var sb strings.Builder
+	sb.WriteString("Table 1: successful collection with median page-level attributes\n")
+	sb.WriteString("Rank bucket        Success   #Reqs   PLT(ms)   #DNS  #TLS\n")
+	for b := 0; b < buckets; b++ {
+		a := accs[b]
+		row := Table1Row{
+			Bucket:     fmt.Sprintf("%d-%d", b*size+1, (b+1)*size),
+			Success:    len(a.reqs),
+			MedianReqs: measure.Median(a.reqs),
+			MedianPLT:  measure.Median(a.plt),
+			MedianDNS:  measure.Median(a.dns),
+			MedianTLS:  measure.Median(a.tls),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&sb, "%-18s %7d   %5.0f   %7.0f   %4.0f  %4.0f\n",
+			row.Bucket, row.Success, row.MedianReqs, row.MedianPLT, row.MedianDNS, row.MedianTLS)
+	}
+	// Totals line.
+	var reqs, plt, dns, tls []float64
+	for _, p := range c.DS.Pages {
+		reqs = append(reqs, float64(len(p.Entries)))
+		plt = append(plt, p.PLT())
+		dns = append(dns, float64(p.DNSQueries()))
+		tls = append(tls, float64(p.TLSConnections()))
+	}
+	fmt.Fprintf(&sb, "%-18s %7d   %5.0f   %7.0f   %4.0f  %4.0f   (failures: %d)\n",
+		"Total", len(c.DS.Pages), measure.Median(reqs), measure.Median(plt),
+		measure.Median(dns), measure.Median(tls), c.DS.Failures)
+	return rows, sb.String()
+}
+
+// Table2 reproduces Table 2: top destination ASes by requests.
+func (c *Corpus) Table2(n int) ([]measure.RankedEntry, string) {
+	cnt := measure.NewCounter()
+	for _, p := range c.DS.Pages {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			org := c.orgOf(e.ServerASN)
+			cnt.Add(fmt.Sprintf("AS%d %s", e.ServerASN, org), 1)
+		}
+	}
+	top := cnt.Top(n)
+	return top, cnt.TableString("Table 2: top destination ASes for resource requests", n)
+}
+
+// Table3 reproduces Table 3: request protocol mix and secure share.
+func (c *Corpus) Table3() (map[string]int64, float64, string) {
+	cnt := measure.NewCounter()
+	var secure, total int64
+	for _, p := range c.DS.Pages {
+		for i := range p.Entries {
+			cnt.Add(p.Entries[i].Protocol, 1)
+			total++
+			if p.Entries[i].Secure {
+				secure++
+			}
+		}
+	}
+	out := map[string]int64{}
+	for _, e := range cnt.Top(0) {
+		out[e.Key] = e.Count
+	}
+	secShare := 100 * float64(secure) / float64(total)
+	s := cnt.TableString("Table 3: requests by application protocol", 0) +
+		fmt.Sprintf("Secure share: %.2f%% (%d of %d)\n", secShare, secure, total)
+	return out, secShare, s
+}
+
+// Table4 reproduces Table 4: top certificate issuers by validations.
+func (c *Corpus) Table4(n int) ([]measure.RankedEntry, string) {
+	cnt := measure.NewCounter()
+	for _, p := range c.DS.Pages {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			if e.NewTLS && e.CertIssuer != "" {
+				cnt.Add(e.CertIssuer, 1)
+			}
+		}
+	}
+	return cnt.Top(n), cnt.TableString("Table 4: top certificate issuers by validations", n)
+}
+
+// Table5 reproduces Table 5: requests by content type.
+func (c *Corpus) Table5(n int) ([]measure.RankedEntry, string) {
+	cnt := measure.NewCounter()
+	for _, p := range c.DS.Pages {
+		for i := range p.Entries {
+			cnt.Add(p.Entries[i].MimeType, 1)
+		}
+	}
+	return cnt.Top(n), cnt.TableString("Table 5: requests by content type", n)
+}
+
+// Table6Row is one AS section of Table 6.
+type Table6Row struct {
+	AS    string
+	Types []measure.RankedEntry
+}
+
+// Table6 reproduces Table 6: top content types per top AS.
+func (c *Corpus) Table6(topAS, topTypes int) ([]Table6Row, string) {
+	asCnt := measure.NewCounter()
+	typeCnt := map[string]*measure.Counter{}
+	for _, p := range c.DS.Pages {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			org := c.orgOf(e.ServerASN)
+			asCnt.Add(org, 1)
+			tc, ok := typeCnt[org]
+			if !ok {
+				tc = measure.NewCounter()
+				typeCnt[org] = tc
+			}
+			tc.Add(e.MimeType, 1)
+		}
+	}
+	var rows []Table6Row
+	var sb strings.Builder
+	sb.WriteString("Table 6: top content types per top AS\n")
+	for _, as := range asCnt.Top(topAS) {
+		row := Table6Row{AS: as.Key, Types: typeCnt[as.Key].Top(topTypes)}
+		rows = append(rows, row)
+		fmt.Fprintf(&sb, "%s (%.2f%% of requests)\n", as.Key, as.Share)
+		for _, tr := range row.Types {
+			fmt.Fprintf(&sb, "    %-32s %10d  %6.2f%%\n", tr.Key, tr.Count, tr.Share)
+		}
+	}
+	return rows, sb.String()
+}
+
+// Table7 reproduces Table 7: top subresource hostnames.
+func (c *Corpus) Table7(n int) ([]measure.RankedEntry, string) {
+	cnt := measure.NewCounter()
+	for _, p := range c.DS.Pages {
+		for i := 1; i < len(p.Entries); i++ { // subresources only
+			cnt.Add(p.Entries[i].Host, 1)
+		}
+	}
+	return cnt.Top(n), cnt.TableString("Table 7: top subresource hostnames", n)
+}
+
+// Table8 reproduces Table 8: ranked SAN-size distribution, measured vs
+// ideal after the §4.3 modifications.
+func (c *Corpus) Table8(n int) ([]core.SANRankRow, string) {
+	s := core.SummarizeCertPlans(c.plans)
+	rows := core.SANRankTable(s, n)
+	var sb strings.Builder
+	sb.WriteString("Table 8: SAN-size ranking, measured vs ideal\n")
+	sb.WriteString("Rank  Measured(size,count)    Ideal(size,count)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%4d  size=%-4d n=%-10d size=%-4d n=%d\n",
+			r.Rank, r.MeasuredSize, r.MeasuredCount, r.IdealSize, r.IdealCount)
+	}
+	return rows, sb.String()
+}
+
+// Table9 reproduces Table 9: top providers and the most frequently
+// needed hostnames to include in their customers' certificates.
+func (c *Corpus) Table9(topProviders, topHosts int) ([]core.ProviderChange, string) {
+	changes := core.MostEffectiveChanges(c.DS.Pages, c.plans, c.orgOf, topProviders, topHosts)
+	var sb strings.Builder
+	sb.WriteString("Table 9: top hostnames to include per top provider\n")
+	for _, pc := range changes {
+		fmt.Fprintf(&sb, "%s (%d sites)\n", pc.Provider, pc.SiteCount)
+		for _, h := range pc.TopHosts {
+			fmt.Fprintf(&sb, "    %-36s %8d  %6.2f%% of its sites\n", h.Key, h.Count, h.Share)
+		}
+	}
+	return changes, sb.String()
+}
+
+// headlineFromCounts computes the §7 headline reductions.
+type Headline struct {
+	MedianMeasuredDNS   float64
+	MedianMeasuredTLS   float64
+	MedianIdealIP       float64
+	MedianIdealOrigin   float64
+	DNSReductionPct     float64
+	TLSReductionPct     float64
+	NoChangeSitesPct    float64
+	AtMostTenChangesPct float64
+}
+
+// Headline computes the paper's headline numbers.
+func (c *Corpus) Headline() (Headline, string) {
+	var dns, tls, ip, origin []float64
+	for _, pc := range c.counts {
+		dns = append(dns, float64(pc.MeasuredDNS))
+		tls = append(tls, float64(pc.MeasuredTLS))
+		ip = append(ip, float64(pc.IdealIP))
+		origin = append(origin, float64(pc.IdealOrigin))
+	}
+	s := core.SummarizeCertPlans(c.plans)
+	h := Headline{
+		MedianMeasuredDNS: measure.Median(dns),
+		MedianMeasuredTLS: measure.Median(tls),
+		MedianIdealIP:     measure.Median(ip),
+		MedianIdealOrigin: measure.Median(origin),
+	}
+	h.DNSReductionPct = measure.ReductionPct(h.MedianMeasuredDNS, h.MedianIdealOrigin)
+	h.TLSReductionPct = measure.ReductionPct(h.MedianMeasuredTLS, h.MedianIdealOrigin)
+	if s.Sites > 0 {
+		h.NoChangeSitesPct = 100 * float64(s.NoChangeSites) / float64(s.Sites)
+		h.AtMostTenChangesPct = 100 * float64(s.AtMostTenChanges) / float64(s.Sites)
+	}
+	txt := fmt.Sprintf(`Headline (paper §7 / §4):
+  median DNS queries:      measured %.0f -> ideal ORIGIN %.0f  (-%.1f%%; paper -64.28%%)
+  median TLS connections:  measured %.0f -> ideal ORIGIN %.0f  (-%.1f%%; paper -68.75%%)
+  median ideal IP:         %.0f (paper 13)
+  sites needing no cert changes: %.1f%% (paper 62.41%%)
+  sites coalescing with <=10 changes: %.1f%% (paper 92.66%%)
+`,
+		h.MedianMeasuredDNS, h.MedianIdealOrigin, h.DNSReductionPct,
+		h.MedianMeasuredTLS, h.MedianIdealOrigin, h.TLSReductionPct,
+		h.MedianIdealIP, h.NoChangeSitesPct, h.AtMostTenChangesPct)
+	return h, txt
+}
+
+// sortedCopy is a small helper for deterministic output in figures.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+var _ = har.Page{} // har types appear in figure signatures

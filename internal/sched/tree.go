@@ -1,0 +1,215 @@
+// Package sched implements HTTP/2 stream prioritization (RFC 7540
+// §5.3): the dependency tree with weighted bandwidth allocation, and a
+// delivery simulator that quantifies the paper's §6.1 argument — on a
+// single coalesced connection the server controls delivery order, while
+// resources split across parallel connections arrive in an order set by
+// network effects, violating the page's intended priorities.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is an RFC 7540 §5.3 stream dependency tree. Stream 0 is the
+// implicit root. The zero value is not usable; call NewTree.
+type Tree struct {
+	nodes map[uint32]*node
+}
+
+type node struct {
+	id       uint32
+	parent   *node
+	children []*node
+	weight   uint8 // RFC value 1..256 stored as weight+1 on the wire; here actual-1
+	active   bool  // has data to send
+}
+
+// NewTree returns a tree containing only the root (stream 0).
+func NewTree() *Tree {
+	root := &node{id: 0, weight: 15}
+	return &Tree{nodes: map[uint32]*node{0: root}}
+}
+
+// Add inserts a stream depending on parent with the given weight
+// (1..256). When exclusive, the new stream adopts the parent's previous
+// children (RFC 7540 §5.3.1).
+func (t *Tree) Add(id, parent uint32, weight int, exclusive bool) error {
+	if _, ok := t.nodes[id]; ok {
+		return fmt.Errorf("sched: stream %d already exists", id)
+	}
+	if weight < 1 || weight > 256 {
+		return fmt.Errorf("sched: weight %d out of range", weight)
+	}
+	p, ok := t.nodes[parent]
+	if !ok {
+		// RFC 9113 deprecates priorities; an unknown parent defaults to
+		// the root rather than erroring.
+		p = t.nodes[0]
+	}
+	n := &node{id: id, parent: p, weight: uint8(weight - 1), active: true}
+	if exclusive {
+		for _, c := range p.children {
+			c.parent = n
+		}
+		n.children = p.children
+		p.children = nil
+	}
+	p.children = append(p.children, n)
+	t.nodes[id] = n
+	return nil
+}
+
+// Reprioritize moves a stream under a new parent (RFC 7540 §5.3.3).
+// If the new parent is a descendant of the stream, the parent is first
+// moved up to the stream's current parent.
+func (t *Tree) Reprioritize(id, parent uint32, weight int, exclusive bool) error {
+	n, ok := t.nodes[id]
+	if !ok || id == 0 {
+		return fmt.Errorf("sched: unknown stream %d", id)
+	}
+	if weight < 1 || weight > 256 {
+		return fmt.Errorf("sched: weight %d out of range", weight)
+	}
+	p, ok := t.nodes[parent]
+	if !ok {
+		p = t.nodes[0]
+	}
+	if parent == id {
+		return fmt.Errorf("sched: stream %d cannot depend on itself", id)
+	}
+	// §5.3.3: if the new parent is a descendant of id, move it up first.
+	if t.isDescendant(p, n) {
+		t.detach(p)
+		t.attach(p, n.parent)
+	}
+	t.detach(n)
+	n.weight = uint8(weight - 1)
+	if exclusive {
+		for _, c := range p.children {
+			c.parent = n
+		}
+		n.children = append(n.children, p.children...)
+		p.children = nil
+	}
+	t.attach(n, p)
+	return nil
+}
+
+// Remove closes a stream; its children are redistributed to its parent
+// (RFC 7540 §5.3.4).
+func (t *Tree) Remove(id uint32) {
+	n, ok := t.nodes[id]
+	if !ok || id == 0 {
+		return
+	}
+	p := n.parent
+	t.detach(n)
+	for _, c := range n.children {
+		c.parent = p
+		p.children = append(p.children, c)
+	}
+	delete(t.nodes, id)
+}
+
+// SetActive marks whether a stream currently has data to send.
+func (t *Tree) SetActive(id uint32, active bool) {
+	if n, ok := t.nodes[id]; ok {
+		n.active = active
+	}
+}
+
+// Len reports the number of streams excluding the root.
+func (t *Tree) Len() int { return len(t.nodes) - 1 }
+
+// Parent returns the parent stream ID.
+func (t *Tree) Parent(id uint32) (uint32, bool) {
+	n, ok := t.nodes[id]
+	if !ok || n.parent == nil {
+		return 0, false
+	}
+	return n.parent.id, true
+}
+
+func (t *Tree) detach(n *node) {
+	p := n.parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.children {
+		if c == n {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	n.parent = nil
+}
+
+func (t *Tree) attach(n *node, p *node) {
+	n.parent = p
+	p.children = append(p.children, n)
+}
+
+func (t *Tree) isDescendant(n, ancestor *node) bool {
+	for cur := n.parent; cur != nil; cur = cur.parent {
+		if cur == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// Allocate distributes an amount of bandwidth over the active streams
+// per RFC 7540 semantics: a stream receives resources only when no
+// active stream exists on the path between it and the root; siblings
+// share in proportion to their weights; an inactive stream passes its
+// share down to its children.
+func (t *Tree) Allocate(total float64) map[uint32]float64 {
+	out := make(map[uint32]float64)
+	t.allocate(t.nodes[0], total, out)
+	return out
+}
+
+func (t *Tree) allocate(n *node, amount float64, out map[uint32]float64) {
+	if amount <= 0 {
+		return
+	}
+	if n.id != 0 && n.active {
+		out[n.id] += amount
+		return
+	}
+	// Share among children carrying active descendants.
+	type share struct {
+		c *node
+		w float64
+	}
+	var shares []share
+	var totalW float64
+	for _, c := range n.children {
+		if t.hasActive(c) {
+			w := float64(c.weight) + 1
+			shares = append(shares, share{c, w})
+			totalW += w
+		}
+	}
+	if totalW == 0 {
+		return
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(shares, func(i, j int) bool { return shares[i].c.id < shares[j].c.id })
+	for _, s := range shares {
+		t.allocate(s.c, amount*s.w/totalW, out)
+	}
+}
+
+func (t *Tree) hasActive(n *node) bool {
+	if n.active {
+		return true
+	}
+	for _, c := range n.children {
+		if t.hasActive(c) {
+			return true
+		}
+	}
+	return false
+}

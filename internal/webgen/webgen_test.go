@@ -1,0 +1,275 @@
+package webgen
+
+import (
+	"bytes"
+	"testing"
+
+	"respectorigin/internal/asn"
+	"respectorigin/internal/har"
+	"respectorigin/internal/measure"
+)
+
+func genSmall(t *testing.T, n int) *Dataset {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Sites = n
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t, 100)
+	b := genSmall(t, 100)
+	if len(a.Pages) != len(b.Pages) || a.Failures != b.Failures {
+		t.Fatalf("non-deterministic corpus size: %d/%d vs %d/%d",
+			len(a.Pages), a.Failures, len(b.Pages), b.Failures)
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URL != b.Pages[i].URL || len(a.Pages[i].Entries) != len(b.Pages[i].Entries) {
+			t.Fatalf("page %d differs", i)
+		}
+		if a.Pages[i].PLT() != b.Pages[i].PLT() {
+			t.Fatalf("page %d PLT differs", i)
+		}
+	}
+}
+
+func TestGenerateValidPages(t *testing.T) {
+	ds := genSmall(t, 300)
+	if len(ds.Pages) == 0 {
+		t.Fatal("no pages generated")
+	}
+	for _, p := range ds.Pages {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("page %s invalid: %v", p.URL, err)
+		}
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	ds := genSmall(t, 2000)
+	got := float64(len(ds.Pages)) / 2000
+	if got < 0.58 || got > 0.68 {
+		t.Errorf("success rate %.3f, want ≈0.635", got)
+	}
+}
+
+func TestRequestCountDistribution(t *testing.T) {
+	ds := genSmall(t, 2000)
+	var counts []int
+	for _, p := range ds.Pages {
+		counts = append(counts, len(p.Entries))
+	}
+	med := measure.MedianInts(counts)
+	// Paper: median 81 requests per page.
+	if med < 55 || med > 110 {
+		t.Errorf("median requests = %.0f, want ≈81", med)
+	}
+}
+
+func TestDNSTLSMedians(t *testing.T) {
+	ds := genSmall(t, 2000)
+	var dns, tls []int
+	for _, p := range ds.Pages {
+		dns = append(dns, p.DNSQueries())
+		tls = append(tls, p.TLSConnections())
+	}
+	mDNS, mTLS := measure.MedianInts(dns), measure.MedianInts(tls)
+	// Paper medians: 14 DNS, 16 TLS.
+	if mDNS < 8 || mDNS > 20 {
+		t.Errorf("median DNS = %.1f, want ≈14", mDNS)
+	}
+	if mTLS < 8 || mTLS > 22 {
+		t.Errorf("median TLS = %.1f, want ≈16", mTLS)
+	}
+	if mTLS < mDNS-1 {
+		t.Errorf("TLS median (%.1f) should not trail DNS median (%.1f)", mTLS, mDNS)
+	}
+}
+
+func TestPLTDistribution(t *testing.T) {
+	ds := genSmall(t, 1000)
+	var plt []float64
+	for _, p := range ds.Pages {
+		plt = append(plt, p.PLT())
+	}
+	med := measure.Median(plt)
+	// Paper: median 5746 ms. Accept a broad band around it.
+	if med < 2000 || med > 12000 {
+		t.Errorf("median PLT = %.0f ms, want ≈5746", med)
+	}
+}
+
+func TestASConcentration(t *testing.T) {
+	ds := genSmall(t, 2000)
+	c := measure.NewCounter()
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			c.Add(ds.ASDB.Org(asn.ASN(e.ServerASN)), 1)
+		}
+	}
+	top := c.Top(10)
+	var cum float64
+	for _, e := range top {
+		cum += e.Share
+	}
+	// Paper: top-10 ASes serve 63.68% of requests.
+	if cum < 45 || cum > 80 {
+		t.Errorf("top-10 AS share = %.1f%%, want ≈64%%", cum)
+	}
+	if top[0].Key != "Google" {
+		t.Errorf("top AS = %s, want Google", top[0].Key)
+	}
+}
+
+func TestUniqueASesPerPage(t *testing.T) {
+	ds := genSmall(t, 2000)
+	var asns []int
+	single := 0
+	for _, p := range ds.Pages {
+		n := len(p.UniqueASNs())
+		asns = append(asns, n)
+		if n == 1 {
+			single++
+		}
+	}
+	med := measure.MedianInts(asns)
+	// Paper: median ≈6 unique ASes; 6.5% single-AS pages.
+	if med < 3 || med > 10 {
+		t.Errorf("median unique ASes = %.1f, want ≈6", med)
+	}
+	frac := float64(single) / float64(len(ds.Pages))
+	if frac < 0.03 || frac > 0.12 {
+		t.Errorf("single-AS fraction = %.3f, want ≈0.065", frac)
+	}
+}
+
+func TestProtocolMix(t *testing.T) {
+	ds := genSmall(t, 1000)
+	c := measure.NewCounter()
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			c.Add(e.Protocol, 1)
+		}
+	}
+	h2Share := 100 * float64(c.Count("h2")) / float64(c.Total())
+	if h2Share < 68 || h2Share > 79 {
+		t.Errorf("h2 share = %.1f%%, want ≈73.6%%", h2Share)
+	}
+	secure := 0
+	total := 0
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			total++
+			if e.Secure {
+				secure++
+			}
+		}
+	}
+	if s := float64(secure) / float64(total); s < 0.97 || s > 1 {
+		t.Errorf("secure share = %.4f, want ≈0.985", s)
+	}
+}
+
+func TestSANDistribution(t *testing.T) {
+	ds := genSmall(t, 3000)
+	var sans []int
+	for _, p := range ds.Pages {
+		sans = append(sans, len(p.Entries[0].CertSANs))
+	}
+	med := measure.MedianInts(sans)
+	// Paper: median existing SAN size is 2 (Figure 4).
+	if med < 2 || med > 3 {
+		t.Errorf("median SAN size = %.1f, want 2", med)
+	}
+	h := measure.Histogram(sans)
+	if h[2] < h[3] || h[2] < h[1] {
+		t.Errorf("SAN=2 should dominate: %v", map[int]int{1: h[1], 2: h[2], 3: h[3]})
+	}
+	// Zero-SAN roots come from the 3.5% Table 8 bucket plus the ~1.5%
+	// of insecure root loads that carry no certificate at all.
+	zeroFrac := float64(h[0]) / float64(len(sans))
+	if zeroFrac < 0.015 || zeroFrac > 0.085 {
+		t.Errorf("zero-SAN fraction = %.3f, want ≈0.05", zeroFrac)
+	}
+}
+
+func TestIssuersAssigned(t *testing.T) {
+	ds := genSmall(t, 500)
+	c := measure.NewCounter()
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			if e.NewTLS && e.CertIssuer != "" {
+				c.Add(e.CertIssuer, 1)
+			}
+		}
+	}
+	if c.Total() == 0 {
+		t.Fatal("no issuers recorded")
+	}
+	top := c.Top(1)
+	if top[0].Key != "Google Trust Services CA 101" {
+		t.Errorf("top issuer = %s", top[0].Key)
+	}
+}
+
+func TestPopularHostsAppear(t *testing.T) {
+	ds := genSmall(t, 1000)
+	c := measure.NewCounter()
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			c.Add(e.Host, 1)
+		}
+	}
+	for _, ph := range []string{"fonts.gstatic.com", "www.google-analytics.com"} {
+		if c.Count(ph) == 0 {
+			t.Errorf("popular host %s never requested", ph)
+		}
+	}
+}
+
+func TestASDBCoversAllIPs(t *testing.T) {
+	ds := genSmall(t, 300)
+	for _, p := range ds.Pages {
+		for _, e := range p.Entries {
+			got := ds.ASDB.LookupASN(e.ServerIP)
+			if uint32(got) != e.ServerASN {
+				t.Fatalf("IP %v: DB says AS%d, entry says AS%d (%s)", e.ServerIP, got, e.ServerASN, e.Host)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{Sites: 0}); err == nil {
+		t.Error("zero sites accepted")
+	}
+}
+
+func TestRebuildASDBRoundTrip(t *testing.T) {
+	ds := genSmall(t, 200)
+	var buf bytes.Buffer
+	if err := har.WriteJSON(&buf, ds.Pages); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := har.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := RebuildASDB(pages)
+	for _, p := range pages {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			if got := uint32(db.LookupASN(e.ServerIP)); got != e.ServerASN {
+				t.Fatalf("rebuilt DB: IP %v -> AS%d, want AS%d (%s)", e.ServerIP, got, e.ServerASN, e.Host)
+			}
+		}
+	}
+	// Provider org names survive the rebuild.
+	if db.Org(13335) != "Cloudflare" {
+		t.Error("provider org lost")
+	}
+}
