@@ -711,3 +711,52 @@ func BenchmarkPolicyCrossValidation(b *testing.B) {
 	b.ReportMetric(stats[1].MedianConnections, "firefox-median-conns")
 	b.ReportMetric(stats[2].MedianConnections, "origin-median-conns")
 }
+
+// --- Parallel engine benchmarks ---
+
+// BenchmarkGenerateParallel measures sharded corpus generation at
+// several worker counts; the workers-1 sub-benchmark is the sequential
+// baseline, so speedup = time(workers-1) / time(workers-N).
+func BenchmarkGenerateParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := webgen.DefaultConfig()
+				cfg.Sites = 2000
+				cfg.Workers = workers
+				ds, err := webgen.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Pages) == 0 {
+					b.Fatal("empty corpus")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTablesParallel measures the full per-page analysis pipeline
+// (corpus construction plus the heaviest report passes) at several
+// worker counts over a pre-generated dataset.
+func BenchmarkTablesParallel(b *testing.B) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = benchCorpusSize
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := report.NewCorpusWorkers(ds, workers)
+				if _, s := c.Table1(5); s == "" {
+					b.Fatal("empty table 1")
+				}
+				c.Table6(3, 4)
+				c.Table9(3, 5)
+				c.Figure9Model(13335)
+			}
+		})
+	}
+}

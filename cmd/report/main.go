@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/har"
@@ -32,6 +33,7 @@ func main() {
 	privacyOnly := flag.Bool("privacy", false, "print only the §6.2 privacy-exposure comparison")
 	policiesOnly := flag.Bool("policies", false, "print only the §2.3 policy cross-validation")
 	schedOnly := flag.Bool("scheduling", false, "print only the §6.1 delivery-ordering comparison")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for generation and analysis")
 	flag.Parse()
 
 	var ds *webgen.Dataset
@@ -80,6 +82,7 @@ func main() {
 		cfg := webgen.DefaultConfig()
 		cfg.Sites = *sites
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		var err error
 		ds, err = webgen.Generate(cfg)
 		if err != nil {
@@ -87,7 +90,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	c := report.NewCorpus(ds)
+	c := report.NewCorpusWorkers(ds, *workers)
 
 	tables := map[int]func() string{
 		1: func() string { _, s := c.Table1(5); return s },

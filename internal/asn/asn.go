@@ -79,6 +79,37 @@ func (db *DB) Add(prefix netip.Prefix, as ASN, org string) error {
 	return nil
 }
 
+// Merge registers every entry of other into db. Overlapping or equal
+// prefixes follow Add semantics (the merged entry overwrites), so
+// merging shard databases left-to-right in shard order is deterministic.
+// Organization names registered in other survive even when a prefix was
+// overwritten there. Merging a database into itself is a no-op.
+func (db *DB) Merge(other *DB) error {
+	if other == nil || other == db {
+		return nil
+	}
+	entries := other.Entries()
+	other.mu.RLock()
+	orgs := make(map[ASN]string, len(other.orgs))
+	for as, org := range other.orgs {
+		orgs[as] = org
+	}
+	other.mu.RUnlock()
+	for _, e := range entries {
+		if err := db.Add(e.Prefix, e.ASN, e.Org); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	for as, org := range orgs {
+		if org != "" {
+			db.orgs[as] = org
+		}
+	}
+	db.mu.Unlock()
+	return nil
+}
+
 // Len returns the number of registered prefixes.
 func (db *DB) Len() int {
 	db.mu.RLock()

@@ -109,34 +109,60 @@ type CertPlanSummary struct {
 
 // SummarizeCertPlans computes the corpus-level §4.3 numbers.
 func SummarizeCertPlans(plans []CertPlan) CertPlanSummary {
-	s := CertPlanSummary{Sites: len(plans)}
-	for _, p := range plans {
-		add := len(p.Additions)
-		ex := p.ExistingCount()
-		id := p.IdealCount()
-		s.ExistingSizes = append(s.ExistingSizes, ex)
-		s.IdealSizes = append(s.IdealSizes, id)
-		s.AdditionSizes = append(s.AdditionSizes, add)
-		if add == 0 {
-			s.NoChangeSites++
-		}
-		if add <= 10 {
-			s.AtMostTenChanges++
-		}
-		if add > 78 {
-			s.Over78Changes++
-		}
-		if ex > 250 {
-			s.Over250Existing++
-		}
-		if id > 250 {
-			s.Over250Ideal++
-		}
-		if id > s.MaxIdeal {
-			s.MaxIdeal = id
-		}
+	var s CertPlanSummary
+	for i := range plans {
+		s.AddPlan(&plans[i])
 	}
 	return s
+}
+
+// AddPlan folds one site's plan into the summary.
+func (s *CertPlanSummary) AddPlan(p *CertPlan) {
+	add := len(p.Additions)
+	ex := p.ExistingCount()
+	id := p.IdealCount()
+	s.Sites++
+	s.ExistingSizes = append(s.ExistingSizes, ex)
+	s.IdealSizes = append(s.IdealSizes, id)
+	s.AdditionSizes = append(s.AdditionSizes, add)
+	if add == 0 {
+		s.NoChangeSites++
+	}
+	if add <= 10 {
+		s.AtMostTenChanges++
+	}
+	if add > 78 {
+		s.Over78Changes++
+	}
+	if ex > 250 {
+		s.Over250Existing++
+	}
+	if id > 250 {
+		s.Over250Ideal++
+	}
+	if id > s.MaxIdeal {
+		s.MaxIdeal = id
+	}
+}
+
+// Merge folds another summary into s. The operation is associative with
+// respect to plan-slice concatenation: summarizing contiguous shards
+// and merging left-to-right equals summarizing the whole corpus, which
+// is what lets the report layer compute Tables 8 and Figures 4-5 with
+// a parallel map-reduce.
+func (s *CertPlanSummary) Merge(o CertPlanSummary) {
+	s.Sites += o.Sites
+	s.NoChangeSites += o.NoChangeSites
+	s.AtMostTenChanges += o.AtMostTenChanges
+	s.Over78Changes += o.Over78Changes
+	s.ExistingSizes = append(s.ExistingSizes, o.ExistingSizes...)
+	s.IdealSizes = append(s.IdealSizes, o.IdealSizes...)
+	s.AdditionSizes = append(s.AdditionSizes, o.AdditionSizes...)
+	s.Over250Existing += o.Over250Existing
+	s.Over250Ideal += o.Over250Ideal
+	if o.MaxIdeal > s.MaxIdeal {
+		s.MaxIdeal = o.MaxIdeal
+	}
 }
 
 // SANRankRow is one row of Table 8: a SAN size and how many sites have
@@ -189,35 +215,66 @@ type ProviderChange struct {
 	TopHosts  []measure.RankedEntry
 }
 
-// MostEffectiveChanges aggregates cert-plan additions by hosting
-// provider (Table 9): for each provider (identified by the base page's
-// origin AS → org name via orgOf), the hostnames most often needed.
-func MostEffectiveChanges(pages []*har.Page, plans []CertPlan, orgOf func(asn uint32) string, topProviders, topHosts int) []ProviderChange {
-	siteCount := measure.NewCounter()
-	hostCounters := map[string]*measure.Counter{}
-	for i, p := range pages {
-		org := orgOf(p.Entries[0].ServerASN)
-		if org == "" {
+// ProviderUsage accumulates the Table 9 aggregation — per-provider site
+// counts and per-provider coalescable-hostname counts. Shards build
+// private accumulators and recombine with Merge.
+type ProviderUsage struct {
+	siteCount *measure.Counter
+	hosts     map[string]*measure.Counter
+}
+
+// NewProviderUsage returns an empty accumulator.
+func NewProviderUsage() *ProviderUsage {
+	return &ProviderUsage{
+		siteCount: measure.NewCounter(),
+		hosts:     map[string]*measure.Counter{},
+	}
+}
+
+// AddSite folds one site into the accumulator: org is the base page's
+// hosting provider (empty skips the site), plan its certificate plan.
+func (u *ProviderUsage) AddSite(org string, plan *CertPlan) {
+	if org == "" {
+		return
+	}
+	u.siteCount.Add(org, 1)
+	hc, ok := u.hosts[org]
+	if !ok {
+		hc = measure.NewCounter()
+		u.hosts[org] = hc
+	}
+	for _, h := range plan.Coalescable {
+		hc.Add(h, 1)
+	}
+}
+
+// Merge folds another accumulator in; associative and commutative.
+func (u *ProviderUsage) Merge(o *ProviderUsage) {
+	if o == nil || o == u {
+		return
+	}
+	u.siteCount.Merge(o.siteCount)
+	for org, hc := range o.hosts {
+		mine, ok := u.hosts[org]
+		if !ok {
+			u.hosts[org] = hc
 			continue
 		}
-		siteCount.Add(org, 1)
-		hc, ok := hostCounters[org]
-		if !ok {
-			hc = measure.NewCounter()
-			hostCounters[org] = hc
-		}
-		for _, h := range plans[i].Coalescable {
-			hc.Add(h, 1)
-		}
+		mine.Merge(hc)
 	}
+}
+
+// Rank produces the Table 9 rows: the topProviders providers by site
+// count, each with its topHosts most frequently needed hostnames, with
+// shares relative to the provider's site count ("requested by x% of
+// websites served by P").
+func (u *ProviderUsage) Rank(topProviders, topHosts int) []ProviderChange {
 	var out []ProviderChange
-	for _, pe := range siteCount.Top(topProviders) {
-		hc := hostCounters[pe.Key]
+	for _, pe := range u.siteCount.Top(topProviders) {
+		hc := u.hosts[pe.Key]
 		var hosts []measure.RankedEntry
 		if hc != nil {
 			hosts = hc.Top(topHosts)
-			// Shares relative to the provider's site count, as in
-			// Table 9 ("requested by x% of websites served by P").
 			for i := range hosts {
 				hosts[i].Share = 100 * float64(hosts[i].Count) / float64(pe.Count)
 			}
@@ -229,4 +286,15 @@ func MostEffectiveChanges(pages []*har.Page, plans []CertPlan, orgOf func(asn ui
 		})
 	}
 	return out
+}
+
+// MostEffectiveChanges aggregates cert-plan additions by hosting
+// provider (Table 9): for each provider (identified by the base page's
+// origin AS → org name via orgOf), the hostnames most often needed.
+func MostEffectiveChanges(pages []*har.Page, plans []CertPlan, orgOf func(asn uint32) string, topProviders, topHosts int) []ProviderChange {
+	u := NewProviderUsage()
+	for i, p := range pages {
+		u.AddSite(orgOf(p.Entries[0].ServerASN), &plans[i])
+	}
+	return u.Rank(topProviders, topHosts)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"respectorigin/internal/asn"
@@ -190,4 +191,64 @@ func TestPlanHandlesDuplicateHosts(t *testing.T) {
 		t.Errorf("duplicates not deduped: %v", plan.Additions)
 	}
 	_ = har.Entry{}
+}
+
+// Summarizing contiguous shards and merging equals summarizing the
+// whole corpus — the invariant the parallel report passes rely on.
+func TestCertPlanSummaryMergeMatchesSequential(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 300
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]CertPlan, len(ds.Pages))
+	for i, p := range ds.Pages {
+		plans[i] = PlanCertChanges(p)
+	}
+	want := SummarizeCertPlans(plans)
+	var got CertPlanSummary
+	for lo := 0; lo < len(plans); lo += 50 {
+		hi := lo + 50
+		if hi > len(plans) {
+			hi = len(plans)
+		}
+		got.Merge(SummarizeCertPlans(plans[lo:hi]))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged summary differs from sequential:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Sharded ProviderUsage accumulators rank identically to the sequential
+// MostEffectiveChanges aggregation.
+func TestProviderUsageMergeMatchesSequential(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 400
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]CertPlan, len(ds.Pages))
+	for i, p := range ds.Pages {
+		plans[i] = PlanCertChanges(p)
+	}
+	orgOf := func(as uint32) string { return ds.ASDB.Org(asn.ASN(as)) }
+	want := MostEffectiveChanges(ds.Pages, plans, orgOf, 3, 5)
+
+	merged := NewProviderUsage()
+	for lo := 0; lo < len(ds.Pages); lo += 64 {
+		hi := lo + 64
+		if hi > len(ds.Pages) {
+			hi = len(ds.Pages)
+		}
+		shard := NewProviderUsage()
+		for i := lo; i < hi; i++ {
+			shard.AddSite(orgOf(ds.Pages[i].Entries[0].ServerASN), &plans[i])
+		}
+		merged.Merge(shard)
+	}
+	if got := merged.Rank(3, 5); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged rank differs:\n got %+v\nwant %+v", got, want)
+	}
 }

@@ -220,14 +220,30 @@ func (p *Page) Clone() *Page {
 
 // WriteJSON writes pages as newline-delimited JSON.
 func WriteJSON(w io.Writer, pages []*Page) error {
-	enc := json.NewEncoder(w)
+	sw := NewStreamWriter(w)
 	for _, p := range pages {
-		if err := enc.Encode(p); err != nil {
+		if err := sw.Write(p); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// StreamWriter writes pages incrementally as newline-delimited JSON —
+// the streaming counterpart of WriteJSON, producing identical bytes.
+// cmd/crawl uses it to emit pages as generation shards complete instead
+// of buffering the whole corpus.
+type StreamWriter struct {
+	enc *json.Encoder
+}
+
+// NewStreamWriter returns a StreamWriter emitting to w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one page to the stream.
+func (s *StreamWriter) Write(p *Page) error { return s.enc.Encode(p) }
 
 // ReadJSON reads newline-delimited JSON pages.
 func ReadJSON(r io.Reader) ([]*Page, error) {

@@ -174,6 +174,19 @@ func (c *Counter) Add(key string, n int64) {
 	c.total += n
 }
 
+// Merge adds every count of other into c. Merging is associative and
+// commutative, so shard counters recombine deterministically in any
+// order — the property the parallel report passes rely on.
+func (c *Counter) Merge(other *Counter) {
+	if other == nil || other == c {
+		return
+	}
+	for k, v := range other.counts {
+		c.counts[k] += v
+	}
+	c.total += other.total
+}
+
 // Total returns the sum of all counts.
 func (c *Counter) Total() int64 { return c.total }
 

@@ -178,3 +178,29 @@ func TestFormatCDF(t *testing.T) {
 		t.Error("empty format")
 	}
 }
+
+func TestCounterMerge(t *testing.T) {
+	a := NewCounter()
+	a.Add("x", 3)
+	a.Add("y", 1)
+	b := NewCounter()
+	b.Add("x", 2)
+	b.Add("z", 5)
+	a.Merge(b)
+	if a.Count("x") != 5 || a.Count("y") != 1 || a.Count("z") != 5 {
+		t.Errorf("merged counts: x=%d y=%d z=%d", a.Count("x"), a.Count("y"), a.Count("z"))
+	}
+	if a.Total() != 11 {
+		t.Errorf("total = %d", a.Total())
+	}
+	// Self/nil merges are no-ops.
+	a.Merge(a)
+	a.Merge(nil)
+	if a.Total() != 11 {
+		t.Errorf("total after self/nil merge = %d", a.Total())
+	}
+	// Source counter untouched.
+	if b.Total() != 7 {
+		t.Errorf("source total = %d", b.Total())
+	}
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+var workerCounts = []int{1, 2, 3, 4, 7, 16, 64}
+
+func TestDoVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range workerCounts {
+		const n = 1000
+		var visits [n]int32
+		Do(n, w, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndTiny(t *testing.T) {
+	Do(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+	var count int32
+	Do(1, 16, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 1 {
+		t.Fatalf("n=1 visited %d times", count)
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 513
+	want := Map(n, 1, func(i int) int { return i * i })
+	for _, w := range workerCounts[1:] {
+		got := Map(n, w, func(i int) int { return i * i })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: map output differs", w)
+		}
+	}
+}
+
+func TestMapZeroLength(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+// Fold with an order-sensitive accumulator (slice append): contiguous
+// chunking plus in-order merge must reproduce the sequential order for
+// every worker count.
+func TestFoldPreservesSequentialOrder(t *testing.T) {
+	const n = 777
+	newAcc := func() []int { return nil }
+	fold := func(acc []int, i int) []int { return append(acc, i) }
+	merge := func(a, b []int) []int { return append(a, b...) }
+
+	want := Fold(n, 1, newAcc, fold, merge)
+	for _, w := range workerCounts[1:] {
+		got := Fold(n, w, newAcc, fold, merge)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: fold order differs", w)
+		}
+	}
+	for i, v := range want {
+		if v != i {
+			t.Fatalf("sequential fold wrong at %d: %d", i, v)
+		}
+	}
+}
+
+func TestFoldEmpty(t *testing.T) {
+	got := Fold(0, 8, func() int { return 42 },
+		func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("empty fold = %d, want fresh accumulator", got)
+	}
+}
+
+func TestMapReduceCountsMatchSequential(t *testing.T) {
+	items := make([]int, 2000)
+	for i := range items {
+		items[i] = i % 37
+	}
+	newAcc := func() map[int]int { return map[int]int{} }
+	mapFn := func(acc map[int]int, v int) map[int]int { acc[v]++; return acc }
+	mergeFn := func(a, b map[int]int) map[int]int {
+		for k, v := range b {
+			a[k] += v
+		}
+		return a
+	}
+	want := MapReduce(items, 1, newAcc, mapFn, mergeFn)
+	for _, w := range workerCounts[1:] {
+		got := MapReduce(items, w, newAcc, mapFn, mergeFn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: map-reduce differs", w)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0) != DefaultWorkers() || Normalize(-3) != DefaultWorkers() {
+		t.Error("non-positive workers should resolve to DefaultWorkers")
+	}
+	if Normalize(5) != 5 {
+		t.Error("positive workers should pass through")
+	}
+}

@@ -7,17 +7,18 @@ import (
 	"respectorigin/internal/core"
 	"respectorigin/internal/har"
 	"respectorigin/internal/measure"
+	"respectorigin/internal/parallel"
 )
 
 // Figure1 reproduces Figure 1: the frequency distribution and CDF of
 // unique ASes contacted per page.
 func (c *Corpus) Figure1() (hist map[int]int, cdf []measure.CDFPoint, text string) {
-	var xs []int
-	var fs []float64
-	for _, p := range c.DS.Pages {
-		n := len(p.UniqueASNs())
-		xs = append(xs, n)
-		fs = append(fs, float64(n))
+	xs := parallel.Map(len(c.DS.Pages), c.workers, func(i int) int {
+		return len(c.DS.Pages[i].UniqueASNs())
+	})
+	fs := make([]float64, len(xs))
+	for i, n := range xs {
+		fs[i] = float64(n)
 	}
 	hist = measure.Histogram(xs)
 	cdf = measure.CDF(fs)
@@ -86,7 +87,7 @@ func (c *Corpus) Figure3() (Figure3Data, string) {
 // Figure4 reproduces Figure 4: CDFs of SAN counts in existing vs ideal
 // certificates.
 func (c *Corpus) Figure4() (existing, ideal []measure.CDFPoint, text string) {
-	s := core.SummarizeCertPlans(c.plans)
+	s := c.certSummary()
 	ex := make([]float64, len(s.ExistingSizes))
 	id := make([]float64, len(s.IdealSizes))
 	for i := range s.ExistingSizes {
@@ -113,7 +114,7 @@ type Figure5Point struct {
 // Figure5 reproduces Figure 5: sites ranked by existing SAN size with
 // the per-site additions and resulting ideal sizes.
 func (c *Corpus) Figure5() ([]Figure5Point, string) {
-	s := core.SummarizeCertPlans(c.plans)
+	s := c.certSummary()
 	pts := make([]Figure5Point, len(s.ExistingSizes))
 	for i := range pts {
 		pts[i] = Figure5Point{
@@ -182,12 +183,27 @@ type Figure9ModelData struct {
 // measured, ideal IP, ideal ORIGIN, and ORIGIN-at-one-CDN coalescing.
 // cdnASN identifies the deployment CDN (Cloudflare in the paper).
 func (c *Corpus) Figure9Model(cdnASN uint32) (Figure9ModelData, string) {
-	var meas, ip, origin, cdnOnly []float64
-	for _, p := range c.DS.Pages {
-		meas = append(meas, p.PLT())
-		ip = append(ip, core.Reconstruct(p, core.ModeIP, 0).PLT())
-		origin = append(origin, core.Reconstruct(p, core.ModeOrigin, 0).PLT())
-		cdnOnly = append(cdnOnly, core.Reconstruct(p, core.ModeOriginCDN, cdnASN).PLT())
+	// The three Reconstruct passes per page dominate report time; run
+	// them as one parallel map over pages.
+	type plts struct{ meas, ip, origin, cdnOnly float64 }
+	perPage := parallel.Map(len(c.DS.Pages), c.workers, func(i int) plts {
+		p := c.DS.Pages[i]
+		return plts{
+			meas:    p.PLT(),
+			ip:      core.Reconstruct(p, core.ModeIP, 0).PLT(),
+			origin:  core.Reconstruct(p, core.ModeOrigin, 0).PLT(),
+			cdnOnly: core.Reconstruct(p, core.ModeOriginCDN, cdnASN).PLT(),
+		}
+	})
+	meas := make([]float64, 0, len(perPage))
+	ip := make([]float64, 0, len(perPage))
+	origin := make([]float64, 0, len(perPage))
+	cdnOnly := make([]float64, 0, len(perPage))
+	for _, v := range perPage {
+		meas = append(meas, v.meas)
+		ip = append(ip, v.ip)
+		origin = append(origin, v.origin)
+		cdnOnly = append(cdnOnly, v.cdnOnly)
 	}
 	d := Figure9ModelData{
 		Measured:        measure.CDF(meas),

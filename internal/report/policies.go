@@ -8,6 +8,7 @@ import (
 	"respectorigin/internal/browser"
 	"respectorigin/internal/har"
 	"respectorigin/internal/measure"
+	"respectorigin/internal/parallel"
 )
 
 // pageEnv adapts one recorded page into a browser.Environment: DNS
@@ -137,15 +138,22 @@ func (c *Corpus) PolicyComparison() ([]PolicyStats, string) {
 	}
 	var out []PolicyStats
 	for _, cfgEntry := range configs {
-		var conns, dns []float64
-		for _, p := range c.DS.Pages {
+		// Each page replay is independent: a private environment and
+		// browser per page, so the policy loop parallelizes cleanly.
+		perPage := parallel.Map(len(c.DS.Pages), c.workers, func(i int) [2]float64 {
+			p := c.DS.Pages[i]
 			env := newPageEnv(p, cfgEntry.deployed)
 			b := browser.New(cfgEntry.policy)
 			for _, host := range p.Hosts() {
 				b.Request(env, host)
 			}
-			conns = append(conns, float64(b.TotalNewConn))
-			dns = append(dns, float64(b.TotalDNS))
+			return [2]float64{float64(b.TotalNewConn), float64(b.TotalDNS)}
+		})
+		conns := make([]float64, 0, len(perPage))
+		dns := make([]float64, 0, len(perPage))
+		for _, v := range perPage {
+			conns = append(conns, v[0])
+			dns = append(dns, v[1])
 		}
 		out = append(out, PolicyStats{
 			Policy:            cfgEntry.name,

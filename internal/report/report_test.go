@@ -362,3 +362,46 @@ func TestPolicyComparisonCrossValidatesModel(t *testing.T) {
 		t.Error("policy report format")
 	}
 }
+
+// Every table and figure rendering must be byte-identical between a
+// sequential corpus and a parallel one over the same dataset — the
+// report-side half of the determinism contract (the webgen side is
+// TestGenerateWorkersByteIdentical).
+func TestReportParallelMatchesSequential(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 600
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewCorpusWorkers(ds, 1)
+	par := NewCorpusWorkers(ds, 8)
+
+	render := func(c *Corpus) map[string]string {
+		out := map[string]string{}
+		_, out["table1"] = c.Table1(5)
+		_, out["table2"] = c.Table2(10)
+		_, _, out["table3"] = c.Table3()
+		_, out["table4"] = c.Table4(10)
+		_, out["table5"] = c.Table5(10)
+		_, out["table6"] = c.Table6(3, 3)
+		_, out["table7"] = c.Table7(10)
+		_, out["table8"] = c.Table8(10)
+		_, out["table9"] = c.Table9(5, 5)
+		_, _, out["figure1"] = c.Figure1()
+		out["figure2"] = c.Figure2(0, 60)
+		_, out["figure3"] = c.Figure3()
+		_, _, out["figure4"] = c.Figure4()
+		_, out["figure5"] = c.Figure5()
+		_, out["figure9"] = c.Figure9Model(13335)
+		_, out["headline"] = c.Headline()
+		_, out["policies"] = c.PolicyComparison()
+		return out
+	}
+	a, b := render(seq), render(par)
+	for name, want := range a {
+		if got := b[name]; got != want {
+			t.Errorf("%s differs between workers=1 and workers=8:\n--- seq ---\n%s\n--- par ---\n%s", name, want, got)
+		}
+	}
+}

@@ -3,17 +3,24 @@
 // simulation (internal/cdn). Each Table*/Figure* function returns a
 // structured result plus a formatted text rendering, so the same code
 // backs the cmd/report binary, the benchmark harness, and EXPERIMENTS.md.
+//
+// Every per-page pass runs as a parallel map-reduce
+// (internal/parallel): pages fold into shard-local accumulators whose
+// associative merges recombine in page order, so output text is
+// byte-identical to a sequential pass for any worker count.
 package report
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/core"
 	"respectorigin/internal/har"
 	"respectorigin/internal/measure"
+	"respectorigin/internal/parallel"
 	"respectorigin/internal/webgen"
 )
 
@@ -21,19 +28,29 @@ import (
 type Corpus struct {
 	DS *webgen.Dataset
 
-	counts []core.PageCounts
-	plans  []core.CertPlan
+	workers int
+	counts  []core.PageCounts
+	plans   []core.CertPlan
+
+	summaryOnce sync.Once
+	summary     core.CertPlanSummary
 }
 
-// NewCorpus builds a Corpus, computing per-page counts and cert plans.
-func NewCorpus(ds *webgen.Dataset) *Corpus {
-	c := &Corpus{DS: ds}
-	c.counts = make([]core.PageCounts, len(ds.Pages))
-	c.plans = make([]core.CertPlan, len(ds.Pages))
-	for i, p := range ds.Pages {
-		c.counts[i] = core.CountPage(p)
-		c.plans[i] = core.PlanCertChanges(p)
-	}
+// NewCorpus builds a Corpus with the default worker count (GOMAXPROCS).
+func NewCorpus(ds *webgen.Dataset) *Corpus { return NewCorpusWorkers(ds, 0) }
+
+// NewCorpusWorkers builds a Corpus whose per-page passes — the memoized
+// §4.2 counts and §4.3 cert plans computed here, and every later
+// table/figure pass — fan out across workers goroutines (≤ 0 selects
+// GOMAXPROCS). Results are identical for every worker count.
+func NewCorpusWorkers(ds *webgen.Dataset, workers int) *Corpus {
+	c := &Corpus{DS: ds, workers: parallel.Normalize(workers)}
+	c.counts = parallel.Map(len(ds.Pages), c.workers, func(i int) core.PageCounts {
+		return core.CountPage(ds.Pages[i])
+	})
+	c.plans = parallel.Map(len(ds.Pages), c.workers, func(i int) core.CertPlan {
+		return core.PlanCertChanges(ds.Pages[i])
+	})
 	return c
 }
 
@@ -45,6 +62,44 @@ func (c *Corpus) Plans() []core.CertPlan { return c.plans }
 
 func (c *Corpus) orgOf(a uint32) string { return c.DS.ASDB.Org(asn.ASN(a)) }
 
+// mapPages runs a per-page corpus pass as a parallel map-reduce.
+func mapPages[A any](c *Corpus, newAcc func() A, fold func(A, *har.Page) A, merge func(A, A) A) A {
+	return parallel.MapReduce(c.DS.Pages, c.workers, newAcc, fold, merge)
+}
+
+// countPages is mapPages specialized to the commonest shape: one
+// measure.Counter fed per page.
+func countPages(c *Corpus, fold func(*measure.Counter, *har.Page)) *measure.Counter {
+	return mapPages(c, measure.NewCounter,
+		func(cnt *measure.Counter, p *har.Page) *measure.Counter {
+			fold(cnt, p)
+			return cnt
+		},
+		func(a, b *measure.Counter) *measure.Counter {
+			a.Merge(b)
+			return a
+		})
+}
+
+// certSummary memoizes the corpus-level §4.3 summary behind Table 8,
+// Figures 4-5 and the headline, computed as a parallel map-reduce over
+// the per-page plans.
+func (c *Corpus) certSummary() core.CertPlanSummary {
+	c.summaryOnce.Do(func() {
+		c.summary = parallel.Fold(len(c.plans), c.workers,
+			func() core.CertPlanSummary { return core.CertPlanSummary{} },
+			func(s core.CertPlanSummary, i int) core.CertPlanSummary {
+				s.AddPlan(&c.plans[i])
+				return s
+			},
+			func(a, b core.CertPlanSummary) core.CertPlanSummary {
+				a.Merge(b)
+				return a
+			})
+	})
+	return c.summary
+}
+
 // Table1Row is one popularity bucket of Table 1.
 type Table1Row struct {
 	Bucket     string
@@ -53,6 +108,31 @@ type Table1Row struct {
 	MedianPLT  float64
 	MedianDNS  float64
 	MedianTLS  float64
+}
+
+// table1Acc accumulates per-bucket and total samples; shard merges
+// concatenate bucket-wise, preserving page order.
+type table1Acc struct {
+	buckets []table1Samples
+	total   table1Samples
+}
+
+type table1Samples struct {
+	reqs, plt, dns, tls []float64
+}
+
+func (s *table1Samples) add(p *har.Page) {
+	s.reqs = append(s.reqs, float64(len(p.Entries)))
+	s.plt = append(s.plt, p.PLT())
+	s.dns = append(s.dns, float64(p.DNSQueries()))
+	s.tls = append(s.tls, float64(p.TLSConnections()))
+}
+
+func (s *table1Samples) merge(o *table1Samples) {
+	s.reqs = append(s.reqs, o.reqs...)
+	s.plt = append(s.plt, o.plt...)
+	s.dns = append(s.dns, o.dns...)
+	s.tls = append(s.tls, o.tls...)
 }
 
 // Table1 reproduces Table 1: per-rank-bucket successes and medians.
@@ -70,26 +150,30 @@ func (c *Corpus) Table1(buckets int) ([]Table1Row, string) {
 	if size == 0 {
 		size = 1
 	}
-	type acc struct {
-		reqs, plt, dns, tls []float64
-	}
-	accs := make([]acc, buckets)
-	for _, p := range c.DS.Pages {
-		b := (p.Rank - 1) / size
-		if b >= buckets {
-			b = buckets - 1
-		}
-		accs[b].reqs = append(accs[b].reqs, float64(len(p.Entries)))
-		accs[b].plt = append(accs[b].plt, p.PLT())
-		accs[b].dns = append(accs[b].dns, float64(p.DNSQueries()))
-		accs[b].tls = append(accs[b].tls, float64(p.TLSConnections()))
-	}
+	acc := mapPages(c,
+		func() *table1Acc { return &table1Acc{buckets: make([]table1Samples, buckets)} },
+		func(a *table1Acc, p *har.Page) *table1Acc {
+			b := (p.Rank - 1) / size
+			if b >= buckets {
+				b = buckets - 1
+			}
+			a.buckets[b].add(p)
+			a.total.add(p)
+			return a
+		},
+		func(a, b *table1Acc) *table1Acc {
+			for i := range a.buckets {
+				a.buckets[i].merge(&b.buckets[i])
+			}
+			a.total.merge(&b.total)
+			return a
+		})
 	var rows []Table1Row
 	var sb strings.Builder
 	sb.WriteString("Table 1: successful collection with median page-level attributes\n")
 	sb.WriteString("Rank bucket        Success   #Reqs   PLT(ms)   #DNS  #TLS\n")
 	for b := 0; b < buckets; b++ {
-		a := accs[b]
+		a := acc.buckets[b]
 		row := Table1Row{
 			Bucket:     fmt.Sprintf("%d-%d", b*size+1, (b+1)*size),
 			Success:    len(a.reqs),
@@ -102,79 +186,81 @@ func (c *Corpus) Table1(buckets int) ([]Table1Row, string) {
 		fmt.Fprintf(&sb, "%-18s %7d   %5.0f   %7.0f   %4.0f  %4.0f\n",
 			row.Bucket, row.Success, row.MedianReqs, row.MedianPLT, row.MedianDNS, row.MedianTLS)
 	}
-	// Totals line.
-	var reqs, plt, dns, tls []float64
-	for _, p := range c.DS.Pages {
-		reqs = append(reqs, float64(len(p.Entries)))
-		plt = append(plt, p.PLT())
-		dns = append(dns, float64(p.DNSQueries()))
-		tls = append(tls, float64(p.TLSConnections()))
-	}
 	fmt.Fprintf(&sb, "%-18s %7d   %5.0f   %7.0f   %4.0f  %4.0f   (failures: %d)\n",
-		"Total", len(c.DS.Pages), measure.Median(reqs), measure.Median(plt),
-		measure.Median(dns), measure.Median(tls), c.DS.Failures)
+		"Total", len(c.DS.Pages), measure.Median(acc.total.reqs), measure.Median(acc.total.plt),
+		measure.Median(acc.total.dns), measure.Median(acc.total.tls), c.DS.Failures)
 	return rows, sb.String()
 }
 
 // Table2 reproduces Table 2: top destination ASes by requests.
 func (c *Corpus) Table2(n int) ([]measure.RankedEntry, string) {
-	cnt := measure.NewCounter()
-	for _, p := range c.DS.Pages {
+	cnt := countPages(c, func(cnt *measure.Counter, p *har.Page) {
 		for i := range p.Entries {
 			e := &p.Entries[i]
 			org := c.orgOf(e.ServerASN)
 			cnt.Add(fmt.Sprintf("AS%d %s", e.ServerASN, org), 1)
 		}
-	}
+	})
 	top := cnt.Top(n)
 	return top, cnt.TableString("Table 2: top destination ASes for resource requests", n)
 }
 
+// table3Acc accumulates the protocol counter plus the secure share.
+type table3Acc struct {
+	cnt           *measure.Counter
+	secure, total int64
+}
+
 // Table3 reproduces Table 3: request protocol mix and secure share.
 func (c *Corpus) Table3() (map[string]int64, float64, string) {
-	cnt := measure.NewCounter()
-	var secure, total int64
-	for _, p := range c.DS.Pages {
-		for i := range p.Entries {
-			cnt.Add(p.Entries[i].Protocol, 1)
-			total++
-			if p.Entries[i].Secure {
-				secure++
+	acc := mapPages(c,
+		func() *table3Acc { return &table3Acc{cnt: measure.NewCounter()} },
+		func(a *table3Acc, p *har.Page) *table3Acc {
+			for i := range p.Entries {
+				a.cnt.Add(p.Entries[i].Protocol, 1)
+				a.total++
+				if p.Entries[i].Secure {
+					a.secure++
+				}
 			}
-		}
-	}
+			return a
+		},
+		func(a, b *table3Acc) *table3Acc {
+			a.cnt.Merge(b.cnt)
+			a.secure += b.secure
+			a.total += b.total
+			return a
+		})
 	out := map[string]int64{}
-	for _, e := range cnt.Top(0) {
+	for _, e := range acc.cnt.Top(0) {
 		out[e.Key] = e.Count
 	}
-	secShare := 100 * float64(secure) / float64(total)
-	s := cnt.TableString("Table 3: requests by application protocol", 0) +
-		fmt.Sprintf("Secure share: %.2f%% (%d of %d)\n", secShare, secure, total)
+	secShare := 100 * float64(acc.secure) / float64(acc.total)
+	s := acc.cnt.TableString("Table 3: requests by application protocol", 0) +
+		fmt.Sprintf("Secure share: %.2f%% (%d of %d)\n", secShare, acc.secure, acc.total)
 	return out, secShare, s
 }
 
 // Table4 reproduces Table 4: top certificate issuers by validations.
 func (c *Corpus) Table4(n int) ([]measure.RankedEntry, string) {
-	cnt := measure.NewCounter()
-	for _, p := range c.DS.Pages {
+	cnt := countPages(c, func(cnt *measure.Counter, p *har.Page) {
 		for i := range p.Entries {
 			e := &p.Entries[i]
 			if e.NewTLS && e.CertIssuer != "" {
 				cnt.Add(e.CertIssuer, 1)
 			}
 		}
-	}
+	})
 	return cnt.Top(n), cnt.TableString("Table 4: top certificate issuers by validations", n)
 }
 
 // Table5 reproduces Table 5: requests by content type.
 func (c *Corpus) Table5(n int) ([]measure.RankedEntry, string) {
-	cnt := measure.NewCounter()
-	for _, p := range c.DS.Pages {
+	cnt := countPages(c, func(cnt *measure.Counter, p *har.Page) {
 		for i := range p.Entries {
 			cnt.Add(p.Entries[i].MimeType, 1)
 		}
-	}
+	})
 	return cnt.Top(n), cnt.TableString("Table 5: requests by content type", n)
 }
 
@@ -184,28 +270,50 @@ type Table6Row struct {
 	Types []measure.RankedEntry
 }
 
+// table6Acc accumulates request counts per AS and content-type counts
+// per AS.
+type table6Acc struct {
+	asCnt   *measure.Counter
+	typeCnt map[string]*measure.Counter
+}
+
 // Table6 reproduces Table 6: top content types per top AS.
 func (c *Corpus) Table6(topAS, topTypes int) ([]Table6Row, string) {
-	asCnt := measure.NewCounter()
-	typeCnt := map[string]*measure.Counter{}
-	for _, p := range c.DS.Pages {
-		for i := range p.Entries {
-			e := &p.Entries[i]
-			org := c.orgOf(e.ServerASN)
-			asCnt.Add(org, 1)
-			tc, ok := typeCnt[org]
-			if !ok {
-				tc = measure.NewCounter()
-				typeCnt[org] = tc
+	acc := mapPages(c,
+		func() *table6Acc {
+			return &table6Acc{asCnt: measure.NewCounter(), typeCnt: map[string]*measure.Counter{}}
+		},
+		func(a *table6Acc, p *har.Page) *table6Acc {
+			for i := range p.Entries {
+				e := &p.Entries[i]
+				org := c.orgOf(e.ServerASN)
+				a.asCnt.Add(org, 1)
+				tc, ok := a.typeCnt[org]
+				if !ok {
+					tc = measure.NewCounter()
+					a.typeCnt[org] = tc
+				}
+				tc.Add(e.MimeType, 1)
 			}
-			tc.Add(e.MimeType, 1)
-		}
-	}
+			return a
+		},
+		func(a, b *table6Acc) *table6Acc {
+			a.asCnt.Merge(b.asCnt)
+			for org, tc := range b.typeCnt {
+				mine, ok := a.typeCnt[org]
+				if !ok {
+					a.typeCnt[org] = tc
+					continue
+				}
+				mine.Merge(tc)
+			}
+			return a
+		})
 	var rows []Table6Row
 	var sb strings.Builder
 	sb.WriteString("Table 6: top content types per top AS\n")
-	for _, as := range asCnt.Top(topAS) {
-		row := Table6Row{AS: as.Key, Types: typeCnt[as.Key].Top(topTypes)}
+	for _, as := range acc.asCnt.Top(topAS) {
+		row := Table6Row{AS: as.Key, Types: acc.typeCnt[as.Key].Top(topTypes)}
 		rows = append(rows, row)
 		fmt.Fprintf(&sb, "%s (%.2f%% of requests)\n", as.Key, as.Share)
 		for _, tr := range row.Types {
@@ -217,20 +325,18 @@ func (c *Corpus) Table6(topAS, topTypes int) ([]Table6Row, string) {
 
 // Table7 reproduces Table 7: top subresource hostnames.
 func (c *Corpus) Table7(n int) ([]measure.RankedEntry, string) {
-	cnt := measure.NewCounter()
-	for _, p := range c.DS.Pages {
+	cnt := countPages(c, func(cnt *measure.Counter, p *har.Page) {
 		for i := 1; i < len(p.Entries); i++ { // subresources only
 			cnt.Add(p.Entries[i].Host, 1)
 		}
-	}
+	})
 	return cnt.Top(n), cnt.TableString("Table 7: top subresource hostnames", n)
 }
 
 // Table8 reproduces Table 8: ranked SAN-size distribution, measured vs
 // ideal after the §4.3 modifications.
 func (c *Corpus) Table8(n int) ([]core.SANRankRow, string) {
-	s := core.SummarizeCertPlans(c.plans)
-	rows := core.SANRankTable(s, n)
+	rows := core.SANRankTable(c.certSummary(), n)
 	var sb strings.Builder
 	sb.WriteString("Table 8: SAN-size ranking, measured vs ideal\n")
 	sb.WriteString("Rank  Measured(size,count)    Ideal(size,count)\n")
@@ -244,7 +350,16 @@ func (c *Corpus) Table8(n int) ([]core.SANRankRow, string) {
 // Table9 reproduces Table 9: top providers and the most frequently
 // needed hostnames to include in their customers' certificates.
 func (c *Corpus) Table9(topProviders, topHosts int) ([]core.ProviderChange, string) {
-	changes := core.MostEffectiveChanges(c.DS.Pages, c.plans, c.orgOf, topProviders, topHosts)
+	usage := parallel.Fold(len(c.DS.Pages), c.workers, core.NewProviderUsage,
+		func(u *core.ProviderUsage, i int) *core.ProviderUsage {
+			u.AddSite(c.orgOf(c.DS.Pages[i].Entries[0].ServerASN), &c.plans[i])
+			return u
+		},
+		func(a, b *core.ProviderUsage) *core.ProviderUsage {
+			a.Merge(b)
+			return a
+		})
+	changes := usage.Rank(topProviders, topHosts)
 	var sb strings.Builder
 	sb.WriteString("Table 9: top hostnames to include per top provider\n")
 	for _, pc := range changes {
@@ -277,7 +392,7 @@ func (c *Corpus) Headline() (Headline, string) {
 		ip = append(ip, float64(pc.IdealIP))
 		origin = append(origin, float64(pc.IdealOrigin))
 	}
-	s := core.SummarizeCertPlans(c.plans)
+	s := c.certSummary()
 	h := Headline{
 		MedianMeasuredDNS: measure.Median(dns),
 		MedianMeasuredTLS: measure.Median(tls),
@@ -309,5 +424,3 @@ func sortedCopy(xs []float64) []float64 {
 	sort.Float64s(out)
 	return out
 }
-
-var _ = har.Page{} // har types appear in figure signatures

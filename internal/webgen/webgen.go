@@ -15,10 +15,13 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/har"
 	"respectorigin/internal/netsim"
+	"respectorigin/internal/parallel"
 )
 
 // Config parameterizes corpus generation.
@@ -32,6 +35,10 @@ type Config struct {
 	SuccessRate float64
 	// Net configures the latency model; zero value uses defaults.
 	Net netsim.Params
+	// Workers is the number of generation goroutines; values ≤ 0 select
+	// runtime.GOMAXPROCS. Every page is a pure function of (Seed, rank),
+	// so output is byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns a corpus configuration matching the paper's
@@ -52,8 +59,42 @@ type Dataset struct {
 	ASDB     *asn.DB     // IP→ASN database covering every generated IP
 }
 
-// Generate builds a corpus.
+// Generate builds a corpus in memory across cfg.Workers goroutines.
+// Output is identical for every worker count; see GenerateStream for
+// the streaming form that avoids buffering the whole corpus.
 func Generate(cfg Config) (*Dataset, error) {
+	ds := &Dataset{}
+	res, err := GenerateStream(cfg, func(p *har.Page) error {
+		ds.Pages = append(ds.Pages, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.Failures = res.Failures
+	ds.ASDB = res.ASDB
+	return ds, nil
+}
+
+// StreamResult summarizes a streamed generation run.
+type StreamResult struct {
+	Pages    int // successful page loads emitted
+	Failures int // attempts that failed (non-200, CAPTCHA)
+	ASDB     *asn.DB
+}
+
+// GenerateStream builds a corpus across cfg.Workers goroutines and
+// invokes emit for every successful page in strict rank order as shards
+// complete, without buffering the whole corpus in memory. emit runs on
+// the calling goroutine; returning an error aborts generation.
+//
+// Ranks are split into contiguous shards. Each shard generates with a
+// private tail-AS registry and shard-local ASN database; shard
+// databases merge into the returned ASDB in shard order, so both the
+// page stream and the database are byte-identical for every worker
+// count. In-flight shards are bounded, so a slow writer cannot make
+// memory grow with corpus size.
+func GenerateStream(cfg Config, emit func(*har.Page) error) (*StreamResult, error) {
 	if cfg.Sites <= 0 {
 		return nil, fmt.Errorf("webgen: Sites must be positive")
 	}
@@ -63,39 +104,114 @@ func Generate(cfg Config) (*Dataset, error) {
 	if cfg.Net.RTTMs == 0 {
 		cfg.Net = netsim.DefaultParams()
 	}
-	g := &generator{
-		cfg: cfg,
-		db:  asn.NewDB(),
-		net: netsim.New(cfg.Net, cfg.Seed),
+	workers := parallel.Normalize(cfg.Workers)
+	db := asn.NewDB()
+	registerProviders(db)
+	res := &StreamResult{ASDB: db}
+
+	emitShard := func(sh shardResult) error {
+		for _, p := range sh.pages {
+			if err := emit(p); err != nil {
+				return err
+			}
+		}
+		res.Pages += len(sh.pages)
+		res.Failures += sh.failures
+		return db.Merge(sh.db)
 	}
-	g.registerProviders()
-	ds := &Dataset{ASDB: g.db}
-	for rank := 1; rank <= cfg.Sites; rank++ {
+
+	if workers == 1 {
+		return res, emitShard(genShard(cfg, 1, cfg.Sites+1))
+	}
+
+	span := (cfg.Sites + workers*8 - 1) / (workers * 8)
+	if span < 1 {
+		span = 1
+	}
+	if span > 256 {
+		span = 256
+	}
+	nshards := (cfg.Sites + span - 1) / span
+	results := make([]chan shardResult, nshards)
+	for i := range results {
+		results[i] = make(chan shardResult, 1)
+	}
+	// tokens bounds generated-but-unemitted shards; done aborts workers
+	// when the writer fails.
+	tokens := make(chan struct{}, workers*2)
+	done := make(chan struct{})
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nshards {
+					return
+				}
+				select {
+				case tokens <- struct{}{}:
+				case <-done:
+					return
+				}
+				lo := 1 + s*span
+				hi := lo + span
+				if hi > cfg.Sites+1 {
+					hi = cfg.Sites + 1
+				}
+				results[s] <- genShard(cfg, lo, hi)
+			}
+		}()
+	}
+	var emitErr error
+	for s := 0; s < nshards && emitErr == nil; s++ {
+		emitErr = emitShard(<-results[s])
+		<-tokens
+	}
+	close(done)
+	wg.Wait()
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	return res, nil
+}
+
+// shardResult is one contiguous rank block's output.
+type shardResult struct {
+	pages    []*har.Page // successful loads, rank order
+	failures int
+	db       *asn.DB // shard-local tail-AS registrations
+}
+
+// genShard generates ranks [lo, hi) with a private generator.
+func genShard(cfg Config, lo, hi int) shardResult {
+	g := &generator{cfg: cfg, tails: newTailRegistry()}
+	var sh shardResult
+	for rank := lo; rank < hi; rank++ {
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(rank)))
 		if rng.Float64() > cfg.SuccessRate {
-			ds.Failures++
+			sh.failures++
 			continue
 		}
-		page := g.genPage(rank, rng)
-		ds.Pages = append(ds.Pages, page)
+		sh.pages = append(sh.pages, g.genPage(rank, rng))
 	}
-	return ds, nil
+	sh.db = asn.NewDB()
+	g.tails.register(sh.db)
+	return sh
 }
 
 type generator struct {
-	cfg cfg
-	db  *asn.DB
-	net *netsim.Network
-
-	tailASCount int
+	cfg   Config
+	net   *netsim.Network // per-page latency model, reseeded in genPage
+	tails *tailRegistry
 }
 
-type cfg = Config
-
-func (g *generator) registerProviders() {
+func registerProviders(db *asn.DB) {
 	for _, p := range Providers {
 		prefix := netip.MustParsePrefix(p.Prefix)
-		g.db.Add(prefix, asn.ASN(p.ASN), p.Name)
+		db.Add(prefix, asn.ASN(p.ASN), p.Name)
 	}
 }
 
@@ -110,16 +226,47 @@ func tailPrefix(i int) netip.Prefix {
 	return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(160 + i/250), byte(i % 250), 0, 0}), 16)
 }
 
-// tailAS registers (once) and returns a long-tail AS for index i.
-func (g *generator) tailAS(i int) uint32 {
-	as := uint32(TailASNBase + i)
-	if g.db.Org(asn.ASN(as)) == "" {
-		g.db.Add(tailPrefix(i), asn.ASN(as), fmt.Sprintf("Tail-AS-%d", i))
-		if i > g.tailASCount {
-			g.tailASCount = i
-		}
+// tailAS allocates and returns a long-tail AS for index i via the
+// shard's registry; the ASN database is untouched until shard end.
+func (g *generator) tailAS(i int) uint32 { return g.tails.use(i) }
+
+// tailRegistry tracks the long-tail ASes one generator shard has
+// allocated. It replaces the old pattern of probing the shared ASN
+// database (db.Org(...) == "") and mutating it mid-generation — a data
+// race the moment two goroutines generate pages, and a latent
+// re-registration of the same /16 prefix — with an explicit merge-safe
+// set that registers everything at shard end in sorted order.
+type tailRegistry struct {
+	used map[int]bool
+}
+
+func newTailRegistry() *tailRegistry { return &tailRegistry{used: make(map[int]bool)} }
+
+// use marks tail index i as allocated and returns its AS number.
+func (t *tailRegistry) use(i int) uint32 {
+	t.used[i] = true
+	return uint32(TailASNBase + i)
+}
+
+// merge folds another registry's allocations in; the union is
+// order-independent.
+func (t *tailRegistry) merge(o *tailRegistry) {
+	for i := range o.used {
+		t.used[i] = true
 	}
-	return as
+}
+
+// register writes the allocated tail ASes into db in ascending index
+// order, so the resulting database is independent of allocation order.
+func (t *tailRegistry) register(db *asn.DB) {
+	idx := make([]int, 0, len(t.used))
+	for i := range t.used {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		db.Add(tailPrefix(i), asn.ASN(TailASNBase+i), fmt.Sprintf("Tail-AS-%d", i))
+	}
 }
 
 // hostAddr deterministically assigns host IPs inside a provider prefix.
@@ -216,6 +363,12 @@ type hostInfo struct {
 
 // genPage generates one site's page load.
 func (g *generator) genPage(rank int, rng *rand.Rand) *har.Page {
+	// Each page gets its own latency-model stream derived from the page
+	// RNG, so page content is a pure function of (seed, rank) and never
+	// depends on generation order — the invariant the sharded engine and
+	// the Workers-count determinism guarantee rest on.
+	g.net = netsim.New(g.cfg.Net, rng.Int63())
+
 	siteHost := fmt.Sprintf("www.site-%d.example", rank)
 	apex := fmt.Sprintf("site-%d.example", rank)
 

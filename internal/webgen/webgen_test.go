@@ -2,6 +2,7 @@ package webgen
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"respectorigin/internal/asn"
@@ -33,6 +34,129 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 		if a.Pages[i].PLT() != b.Pages[i].PLT() {
 			t.Fatalf("page %d PLT differs", i)
+		}
+	}
+}
+
+// ndjsonBytes serializes a dataset the way cmd/crawl does.
+func ndjsonBytes(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := har.WriteJSON(&buf, ds.Pages); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The sharded engine's core guarantee: any worker count produces output
+// byte-identical to the sequential path — pages, failures, and the
+// merged ASN database alike.
+func TestGenerateWorkersByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites = 400
+	cfg.Workers = 1
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqJSON := ndjsonBytes(t, seq)
+	seqEntries := seq.ASDB.Entries()
+
+	for _, w := range []int{4, 16} {
+		cfg.Workers = w
+		par, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ndjsonBytes(t, par), seqJSON) {
+			t.Fatalf("Workers=%d: NDJSON differs from sequential", w)
+		}
+		if par.Failures != seq.Failures {
+			t.Fatalf("Workers=%d: failures %d vs %d", w, par.Failures, seq.Failures)
+		}
+		parEntries := par.ASDB.Entries()
+		if len(parEntries) != len(seqEntries) {
+			t.Fatalf("Workers=%d: ASDB size %d vs %d", w, len(parEntries), len(seqEntries))
+		}
+		for i := range parEntries {
+			if parEntries[i] != seqEntries[i] {
+				t.Fatalf("Workers=%d: ASDB entry %d differs: %+v vs %+v",
+					w, i, parEntries[i], seqEntries[i])
+			}
+		}
+	}
+}
+
+// GenerateStream emits the same pages in the same rank order as
+// Generate, for any worker count.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites = 300
+	cfg.Workers = 1
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := ndjsonBytes(t, want)
+
+	for _, w := range []int{1, 8} {
+		cfg.Workers = w
+		var buf bytes.Buffer
+		sw := har.NewStreamWriter(&buf)
+		res, err := GenerateStream(cfg, sw.Write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), wantJSON) {
+			t.Fatalf("Workers=%d: streamed NDJSON differs", w)
+		}
+		if res.Pages != len(want.Pages) || res.Failures != want.Failures {
+			t.Fatalf("Workers=%d: stream result %d/%d, want %d/%d",
+				w, res.Pages, res.Failures, len(want.Pages), want.Failures)
+		}
+	}
+}
+
+// A failing writer aborts the stream with its error and leaves no
+// goroutines stuck (the race detector and -timeout cover the latter).
+func TestGenerateStreamEmitError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites = 500
+	cfg.Workers = 8
+	n := 0
+	_, err := GenerateStream(cfg, func(p *har.Page) error {
+		n++
+		if n == 10 {
+			return errWriter
+		}
+		return nil
+	})
+	if err != errWriter {
+		t.Fatalf("err = %v, want errWriter", err)
+	}
+}
+
+var errWriter = fmt.Errorf("writer failed")
+
+func TestTailRegistryMergeAndRegister(t *testing.T) {
+	a, b := newTailRegistry(), newTailRegistry()
+	a.use(5)
+	a.use(1)
+	b.use(5) // duplicate across shards: registers once
+	b.use(9)
+	a.merge(b)
+	db := asn.NewDB()
+	a.register(db)
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", db.Len())
+	}
+	for _, i := range []int{1, 5, 9} {
+		as := asn.ASN(TailASNBase + i)
+		if db.Org(as) == "" {
+			t.Errorf("tail AS %d not registered", i)
+		}
+		if got := db.LookupASN(tailPrefix(i).Addr()); got != as {
+			t.Errorf("tail prefix %d -> AS%d, want AS%d", i, got, as)
 		}
 	}
 }
