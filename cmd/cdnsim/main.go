@@ -8,6 +8,13 @@
 //
 //	cdnsim -sample 5000 -phase all
 //	cdnsim -sample 2000 -phase origin
+//	cdnsim -sample 2000 -faults reset=0.05,dnsfail=0.01,loss=2 -retries 2
+//	cdnsim -sample 2000 -faultsweep
+//
+// With -faults, every visit samples the given degradation plan from a
+// seeded stream independent of the experiment's own randomness; the
+// same seed and plan reproduce the run byte for byte, and an empty plan
+// leaves every output identical to a fault-free run.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"respectorigin/internal/cdn"
+	"respectorigin/internal/faults"
 	"respectorigin/internal/report"
 )
 
@@ -24,9 +32,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	phase := flag.String("phase", "all", "ip | origin | passive | all")
 	days := flag.Int("days", 28, "longitudinal window in days")
+	faultSpec := flag.String("faults", "", "fault plan, e.g. reset=0.05,dnsfail=0.01,stale=0.02,loss=2 (empty: none)")
+	retries := flag.Int("retries", 1, "browser retry budget under a nonzero fault plan")
+	sweep := flag.Bool("faultsweep", false, "run the Figure 8 fault sweep (reset rates 0/1/5%) and exit")
 	flag.Parse()
 
-	d := report.NewDeployment(*sample, *seed)
+	plan, err := faults.ParsePlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *sweep {
+		start, end := *days/4, *days*3/4
+		fmt.Println(report.FaultSweep(*sample, *seed, *days, start, end, []float64{0, 1, 5}))
+		return
+	}
+
+	d := report.NewDeploymentWithFaults(*sample, *seed, plan, *retries)
 	fmt.Println(d.Figure6())
 
 	runIP := *phase == "ip" || *phase == "all"
@@ -53,5 +76,8 @@ func main() {
 	if !runIP && !runOrigin && !runPassive {
 		fmt.Fprintf(os.Stderr, "cdnsim: unknown phase %q\n", *phase)
 		os.Exit(1)
+	}
+	if !plan.Zero() {
+		fmt.Println(d.FaultReport())
 	}
 }

@@ -11,6 +11,13 @@
 //
 //	origincurl -connect 127.0.0.1:8443 -ca ca.pem \
 //	    https://www.site.example/ https://cdnjs.shared.example/lib.js
+//
+// With -chaos the underlying TCP connection is wrapped in a seeded
+// fault layer (resets after a byte budget, loss-driven read delays), so
+// the client's deadline/keepalive handling can be exercised against a
+// real server:
+//
+//	origincurl -chaos reset=1,loss=2 -chaos-seed 7 -timeout 5s -ping 2s ...
 package main
 
 import (
@@ -22,7 +29,9 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
+	"respectorigin/internal/faults"
 	"respectorigin/internal/h2"
 )
 
@@ -31,6 +40,10 @@ func main() {
 	caFile := flag.String("ca", "", "PEM file with the trusted CA certificate")
 	insecure := flag.Bool("insecure", false, "skip certificate verification")
 	force := flag.Bool("force", false, "send requests for non-coalescable hosts anyway")
+	chaosSpec := flag.String("chaos", "", "fault plan for the transport, e.g. reset=1,loss=2 (empty: none)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
+	timeout := flag.Duration("timeout", 0, "per-frame read/write deadline on the HTTP/2 connection (0: none)")
+	ping := flag.Duration("ping", 0, "PING keepalive interval (0: disabled)")
 	flag.Parse()
 
 	urls := flag.Args()
@@ -62,20 +75,48 @@ func main() {
 		tlsCfg.RootCAs = pool
 	}
 
+	plan, err := faults.ParsePlan(*chaosSpec)
+	if err != nil {
+		log.Fatalf("origincurl: %v", err)
+	}
+	inj := faults.NewInjector(plan, *chaosSeed)
+
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tc := tls.Client(raw, tlsCfg)
+	var nc net.Conn = raw
+	if inj.Enabled() {
+		// Wrapping below TLS means an injected reset can land anywhere —
+		// including inside the handshake, like a real mid-path RST.
+		chaos := faults.NewChaosConn(raw, inj)
+		if b := chaos.Budget(); b >= 0 {
+			fmt.Printf("chaos: reset scheduled after %d bytes\n", b)
+		}
+		nc = chaos
+	}
+	tc := tls.Client(nc, tlsCfg)
 	if err := tc.Handshake(); err != nil {
 		log.Fatal(err)
 	}
-	cc, err := h2.NewClientConn(tc, h2.ClientConnOptions{
+	opts := h2.ClientConnOptions{
 		Origin: firstHost,
 		OnOrigin: func(origins []string) {
 			fmt.Printf("<- ORIGIN frame: %v\n", origins)
 		},
-	})
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
+	}
+	if *ping > 0 {
+		opts.PingInterval = *ping
+		opts.PingTimeout = *ping
+		if opts.ReadTimeout > 0 && opts.ReadTimeout <= *ping {
+			// A read deadline shorter than the keepalive period would kill
+			// idle-but-healthy connections before the first PING.
+			opts.ReadTimeout = *ping + time.Second
+		}
+	}
+	cc, err := h2.NewClientConn(tc, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +148,9 @@ func main() {
 		}
 	}
 	fmt.Printf("origin set on this connection: %v\n", cc.OriginSet().All())
+	if inj.Enabled() {
+		fmt.Print(inj.Report())
+	}
 }
 
 func splitURL(u string) (host, path string) {

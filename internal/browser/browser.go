@@ -67,6 +67,15 @@ type Environment interface {
 	Reachable(host string, ip netip.Addr) bool
 }
 
+// ConnectFailer is an optional Environment extension for environments
+// that model connection-setup faults (TLS handshake failures, resets
+// during setup). A non-nil error fails the attempt; the browser then
+// retries per its retry budget, rotating through the answer set.
+// Environments without the extension connect unconditionally.
+type ConnectFailer interface {
+	ConnectFail(host string, ip netip.Addr) error
+}
+
 // Conn is a pooled connection.
 type Conn struct {
 	Host string     // hostname the connection was opened for
@@ -120,12 +129,15 @@ func contains(s string, b byte) bool {
 // Outcome reports how one request was satisfied.
 type Outcome struct {
 	Host          string
-	Reused        bool   // satisfied on an existing connection
-	NewConnection bool   // opened a fresh TCP+TLS connection
-	ViaOrigin     bool   // reuse authorized by an ORIGIN frame
-	ConnHost      string // host the carrying connection was opened for
-	DNSQueries    int    // queries issued for this request
-	Got421        bool   // reuse attempt bounced with 421
+	Reused        bool    // satisfied on an existing connection
+	NewConnection bool    // opened a fresh TCP+TLS connection
+	ViaOrigin     bool    // reuse authorized by an ORIGIN frame
+	ConnHost      string  // host the carrying connection was opened for
+	DNSQueries    int     // queries issued for this request
+	Got421        bool    // reuse attempt bounced with 421
+	Retries       int     // retry attempts consumed by this request
+	BackoffMs     float64 // modelled backoff delay accumulated before retries
+	FailedConnect bool    // at least one connection attempt failed
 	Err           error
 }
 
@@ -144,6 +156,16 @@ type Browser struct {
 	// meaningful for PolicyFirefoxOrigin.
 	SkipOriginDNS bool
 
+	// MaxRetries bounds retry attempts after a failed DNS lookup or a
+	// failed connection attempt. 0 (the default) fails immediately,
+	// preserving the pre-fault behaviour.
+	MaxRetries int
+	// RetryBackoffMs is the base of the exponential backoff schedule:
+	// retry k is preceded by a modelled delay of RetryBackoffMs·2^(k-1)
+	// milliseconds, accumulated in BackoffMs/TotalBackoffMs (the pool
+	// does not sleep in wall-clock time).
+	RetryBackoffMs float64
+
 	conns []*Conn
 
 	// Totals across all requests.
@@ -151,6 +173,13 @@ type Browser struct {
 	TotalNewConn int
 	Total421     int
 	TotalReused  int
+
+	// Per-outcome failure accounting.
+	TotalRetries   int
+	TotalBackoffMs float64
+	TotalDNSFail   int // failed DNS lookup attempts (incl. retried ones)
+	TotalConnFail  int // failed connection attempts (incl. retried ones)
+	TotalFailed    int // requests that exhausted their retry budget
 }
 
 // New returns a Browser with the given policy.
@@ -167,6 +196,40 @@ func (b *Browser) Reset() {
 	b.TotalNewConn = 0
 	b.Total421 = 0
 	b.TotalReused = 0
+	b.TotalRetries = 0
+	b.TotalBackoffMs = 0
+	b.TotalDNSFail = 0
+	b.TotalConnFail = 0
+	b.TotalFailed = 0
+}
+
+// DropConns removes every pooled connection opened for host (the pool's
+// reaction to a TCP reset or a server GOAWAY drain) and reports how
+// many were dropped. Subsequent requests must reconnect.
+func (b *Browser) DropConns(host string) int {
+	kept := b.conns[:0]
+	dropped := 0
+	for _, c := range b.conns {
+		if c.Host == host {
+			dropped++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	b.conns = kept
+	return dropped
+}
+
+// FailureCounts returns the per-outcome failure accounting as a map
+// keyed by failure class.
+func (b *Browser) FailureCounts() map[string]int {
+	return map[string]int{
+		"dns":     b.TotalDNSFail,
+		"connect": b.TotalConnFail,
+		"421":     b.Total421,
+		"retries": b.TotalRetries,
+		"failed":  b.TotalFailed,
+	}
 }
 
 // Request fetches host through the pool, coalescing when the policy
@@ -177,10 +240,13 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 	// ORIGIN-frame path: check origin sets before DNS.
 	if b.Policy == PolicyFirefoxOrigin {
 		if c := b.findByOrigin(host); c != nil {
+			var addrs []netip.Addr
+			var lookupErr error
+			looked := false
 			if !b.SkipOriginDNS {
 				// Shipped Firefox still issues a blocking query.
-				out.DNSQueries++
-				env.Lookup(host)
+				addrs, lookupErr = b.lookup(env, host, &out)
+				looked = true
 			}
 			if env.Reachable(host, c.IP) {
 				out.Reused, out.ViaOrigin = true, true
@@ -188,15 +254,24 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 				b.account(out)
 				return out
 			}
-			// Misconfigured origin set: fail open (§5.3) with a 421.
+			// Misconfigured origin set: fail open (§5.3) with a 421. The
+			// fallback reuses the blocking query's answer set; a second
+			// lookup would double-count DNS for this one request.
 			out.Got421 = true
+			if looked {
+				if lookupErr != nil || len(addrs) == 0 {
+					out.Err = lookupErr
+					b.account(out)
+					return out
+				}
+				return b.connectFreshWithAddrs(env, host, addrs, out)
+			}
 			return b.connectFresh(env, host, out)
 		}
 	}
 
 	// IP-based paths always query DNS.
-	addrs, err := env.Lookup(host)
-	out.DNSQueries++
+	addrs, err := b.lookup(env, host, &out)
 	if err != nil || len(addrs) == 0 {
 		out.Err = err
 		b.account(out)
@@ -254,9 +329,37 @@ func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
 	return nil
 }
 
+// lookup resolves host, retrying failed queries up to MaxRetries with
+// exponential-backoff accounting. Every attempt is a real query and
+// counts toward DNSQueries; empty-but-successful answers are not
+// faults and are returned as-is.
+func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Addr, error) {
+	for try := 0; ; try++ {
+		out.DNSQueries++
+		addrs, err := env.Lookup(host)
+		if err == nil {
+			return addrs, nil
+		}
+		b.TotalDNSFail++
+		if try >= b.MaxRetries {
+			return nil, err
+		}
+		b.retryDelay(try, out)
+	}
+}
+
+// retryDelay accounts one retry and its modelled backoff before attempt
+// try+1 (exponential in the retry index).
+func (b *Browser) retryDelay(try int, out *Outcome) {
+	out.Retries++
+	b.TotalRetries++
+	d := b.RetryBackoffMs * float64(int64(1)<<try)
+	out.BackoffMs += d
+	b.TotalBackoffMs += d
+}
+
 func (b *Browser) connectFresh(env Environment, host string, out Outcome) Outcome {
-	addrs, err := env.Lookup(host)
-	out.DNSQueries++
+	addrs, err := b.lookup(env, host, &out)
 	if err != nil || len(addrs) == 0 {
 		out.Err = err
 		b.account(out)
@@ -267,6 +370,29 @@ func (b *Browser) connectFresh(env Environment, host string, out Outcome) Outcom
 
 func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []netip.Addr, out Outcome) Outcome {
 	ip := addrs[0]
+	if cf, ok := env.(ConnectFailer); ok {
+		connected := false
+		var connErr error
+		for try := 0; try <= b.MaxRetries; try++ {
+			if try > 0 {
+				b.retryDelay(try-1, &out)
+			}
+			// Rotate through the answer set across attempts, as clients
+			// do when an address misbehaves.
+			ip = addrs[try%len(addrs)]
+			if connErr = cf.ConnectFail(host, ip); connErr == nil {
+				connected = true
+				break
+			}
+			out.FailedConnect = true
+			b.TotalConnFail++
+		}
+		if !connected {
+			out.Err = connErr
+			b.account(out)
+			return out
+		}
+	}
 	c := &Conn{
 		Host:      host,
 		IP:        ip,
@@ -302,5 +428,8 @@ func (b *Browser) account(out Outcome) {
 	}
 	if out.Got421 {
 		b.Total421++
+	}
+	if out.Err != nil {
+		b.TotalFailed++
 	}
 }

@@ -1,0 +1,263 @@
+package browser
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// originEnv builds an environment where a carrier connection for
+// www.example advertises origin coverage of api.example, but the edge
+// no longer serves it — the §5.3 stale-origin 421 path.
+func staleOriginEnv(reachable bool) *fakeEnv {
+	ipA := ip("192.0.2.1")
+	env := &fakeEnv{
+		answers: map[string][]netip.Addr{
+			"www.example": {ipA},
+			"api.example": {ipA},
+		},
+		sans: map[string][]string{
+			"www.example": {"www.example", "api.example"},
+			"api.example": {"www.example", "api.example"},
+		},
+		origins: map[string][]string{
+			"www.example": {"www.example", "api.example"},
+		},
+	}
+	if !reachable {
+		env.reachable = map[string]bool{"api.example@" + ipA.String(): false}
+	}
+	return env
+}
+
+// TestOrigin421FallbackSingleLookup is the regression test for the
+// double-DNS bug: the ORIGIN path issued a blocking query, got a 421 on
+// reuse, and then connectFresh issued a second query for the same
+// request, double-counting DNSQueries against the §4.2 ideal.
+func TestOrigin421FallbackSingleLookup(t *testing.T) {
+	b := New(PolicyFirefoxOrigin)
+	env := staleOriginEnv(false)
+	first := b.Request(env, "www.example")
+	if !first.NewConnection || first.DNSQueries != 1 {
+		t.Fatalf("carrier request: %+v", first)
+	}
+
+	out := b.Request(env, "api.example")
+	if !out.Got421 {
+		t.Fatalf("stale origin set did not produce a 421: %+v", out)
+	}
+	if !out.NewConnection {
+		t.Fatalf("421 fallback did not open a fresh connection: %+v", out)
+	}
+	if out.DNSQueries != 1 {
+		t.Errorf("421 fallback issued %d DNS queries for one request, want 1", out.DNSQueries)
+	}
+	if env.lookups != 2 {
+		t.Errorf("environment saw %d lookups across both requests, want 2", env.lookups)
+	}
+	if b.TotalDNS != 2 {
+		t.Errorf("TotalDNS = %d, want 2 (one per request)", b.TotalDNS)
+	}
+}
+
+// TestOrigin421FallbackSkipOriginDNS covers the §6.8 client: with the
+// blocking query suppressed, the 421 fallback must issue exactly one
+// (first) query, not zero.
+func TestOrigin421FallbackSkipOriginDNS(t *testing.T) {
+	b := New(PolicyFirefoxOrigin)
+	b.SkipOriginDNS = true
+	env := staleOriginEnv(false)
+	b.Request(env, "www.example")
+
+	out := b.Request(env, "api.example")
+	if !out.Got421 || !out.NewConnection {
+		t.Fatalf("fallback outcome: %+v", out)
+	}
+	if out.DNSQueries != 1 {
+		t.Errorf("SkipOriginDNS fallback issued %d queries, want 1", out.DNSQueries)
+	}
+}
+
+// TestOriginReuseStillSingleLookup pins the healthy path: shipped
+// Firefox issues one blocking query per ORIGIN-coalesced request.
+func TestOriginReuseStillSingleLookup(t *testing.T) {
+	b := New(PolicyFirefoxOrigin)
+	env := staleOriginEnv(true)
+	b.Request(env, "www.example")
+	out := b.Request(env, "api.example")
+	if !out.Reused || !out.ViaOrigin {
+		t.Fatalf("expected ORIGIN reuse: %+v", out)
+	}
+	if out.DNSQueries != 1 || b.TotalDNS != 2 {
+		t.Errorf("queries: out=%d total=%d, want 1 and 2", out.DNSQueries, b.TotalDNS)
+	}
+}
+
+// failingEnv fails lookups and/or connection attempts a set number of
+// times before succeeding.
+type failingEnv struct {
+	fakeEnv
+	dnsFailures  int
+	connFailures int
+	connAttempts []netip.Addr // records the address of each attempt
+}
+
+var errDNS = errors.New("test: dns down")
+var errConn = errors.New("test: connect refused")
+
+func (f *failingEnv) Lookup(host string) ([]netip.Addr, error) {
+	f.lookups++
+	if f.dnsFailures > 0 {
+		f.dnsFailures--
+		return nil, errDNS
+	}
+	return f.answers[host], nil
+}
+
+func (f *failingEnv) ConnectFail(host string, ip netip.Addr) error {
+	f.connAttempts = append(f.connAttempts, ip)
+	if f.connFailures > 0 {
+		f.connFailures--
+		return errConn
+	}
+	return nil
+}
+
+func retryEnv() *failingEnv {
+	return &failingEnv{fakeEnv: fakeEnv{
+		answers: map[string][]netip.Addr{
+			"www.example": {ip("192.0.2.1"), ip("192.0.2.2")},
+		},
+		sans: map[string][]string{"www.example": {"www.example"}},
+	}}
+}
+
+func TestDNSRetryWithBackoff(t *testing.T) {
+	b := New(PolicyFirefox)
+	b.MaxRetries = 2
+	b.RetryBackoffMs = 100
+	env := retryEnv()
+	env.dnsFailures = 2
+	out := b.Request(env, "www.example")
+	if out.Err != nil || !out.NewConnection {
+		t.Fatalf("request failed despite budget: %+v", out)
+	}
+	if out.DNSQueries != 3 {
+		t.Errorf("DNSQueries = %d, want 3 (two failures + success)", out.DNSQueries)
+	}
+	if out.Retries != 2 || b.TotalRetries != 2 {
+		t.Errorf("retries = %d/%d, want 2/2", out.Retries, b.TotalRetries)
+	}
+	// Exponential schedule: 100 + 200.
+	if out.BackoffMs != 300 {
+		t.Errorf("BackoffMs = %v, want 300", out.BackoffMs)
+	}
+	if b.TotalDNSFail != 2 {
+		t.Errorf("TotalDNSFail = %d, want 2", b.TotalDNSFail)
+	}
+}
+
+func TestDNSRetryBudgetExhausted(t *testing.T) {
+	b := New(PolicyFirefox)
+	b.MaxRetries = 1
+	env := retryEnv()
+	env.dnsFailures = 5
+	out := b.Request(env, "www.example")
+	if !errors.Is(out.Err, errDNS) {
+		t.Fatalf("Err = %v, want errDNS", out.Err)
+	}
+	if out.NewConnection || out.Reused {
+		t.Fatalf("failed request recorded a connection: %+v", out)
+	}
+	if out.DNSQueries != 2 {
+		t.Errorf("DNSQueries = %d, want 2", out.DNSQueries)
+	}
+	if b.TotalFailed != 1 {
+		t.Errorf("TotalFailed = %d, want 1", b.TotalFailed)
+	}
+}
+
+func TestConnectRetryRotatesAddresses(t *testing.T) {
+	b := New(PolicyFirefox)
+	b.MaxRetries = 2
+	b.RetryBackoffMs = 50
+	env := retryEnv()
+	env.connFailures = 1
+	out := b.Request(env, "www.example")
+	if out.Err != nil || !out.NewConnection {
+		t.Fatalf("request failed: %+v", out)
+	}
+	if len(env.connAttempts) != 2 {
+		t.Fatalf("connection attempts = %d, want 2", len(env.connAttempts))
+	}
+	// Second attempt must rotate to the next answer.
+	if env.connAttempts[0] != ip("192.0.2.1") || env.connAttempts[1] != ip("192.0.2.2") {
+		t.Errorf("attempts did not rotate the answer set: %v", env.connAttempts)
+	}
+	if !out.FailedConnect || b.TotalConnFail != 1 {
+		t.Errorf("connect-failure accounting: FailedConnect=%v TotalConnFail=%d", out.FailedConnect, b.TotalConnFail)
+	}
+}
+
+func TestConnectRetryBudgetExhausted(t *testing.T) {
+	b := New(PolicyFirefox)
+	b.MaxRetries = 1
+	env := retryEnv()
+	env.connFailures = 5
+	out := b.Request(env, "www.example")
+	if !errors.Is(out.Err, errConn) {
+		t.Fatalf("Err = %v, want errConn", out.Err)
+	}
+	if b.TotalConnFail != 2 || b.TotalFailed != 1 {
+		t.Errorf("accounting: conn fails=%d failed=%d, want 2 and 1", b.TotalConnFail, b.TotalFailed)
+	}
+	if len(b.Conns()) != 0 {
+		t.Errorf("failed request left %d pooled conns", len(b.Conns()))
+	}
+}
+
+func TestDropConns(t *testing.T) {
+	b := New(PolicyFirefox)
+	env := retryEnv()
+	b.Request(env, "www.example")
+	if n := b.DropConns("www.example"); n != 1 {
+		t.Fatalf("DropConns = %d, want 1", n)
+	}
+	if len(b.Conns()) != 0 {
+		t.Fatalf("pool not empty after drop")
+	}
+	out := b.Request(env, "www.example")
+	if !out.NewConnection {
+		t.Fatalf("request after drop did not reconnect: %+v", out)
+	}
+	if n := b.DropConns("other.example"); n != 0 {
+		t.Fatalf("DropConns for absent host = %d, want 0", n)
+	}
+}
+
+// TestSanMatchWildcardEdges pins the wildcard edge cases: a wildcard
+// never matches its bare suffix, never spans multiple labels, and the
+// degenerate "*." SAN matches nothing.
+func TestSanMatchWildcardEdges(t *testing.T) {
+	cases := []struct {
+		sans []string
+		host string
+		want bool
+	}{
+		{[]string{"*.example.com"}, "www.example.com", true},
+		{[]string{"*.example.com"}, "example.com", false},     // host == suffix
+		{[]string{"*.example.com"}, "a.b.example.com", false}, // multi-label
+		{[]string{"*."}, "anything", false},                   // bare wildcard
+		{[]string{"*."}, "", false},
+		{[]string{"*.example.com"}, ".example.com", false}, // empty label
+		{[]string{"example.com"}, "example.com", true},     // exact
+		{[]string{"*.example.com", "example.com"}, "example.com", true},
+		{[]string{"*.co.uk"}, "example.co.uk", true}, // single label over ccTLD
+		{[]string{"*.example.com"}, "wwwexample.com", false},
+	}
+	for _, c := range cases {
+		if got := sanMatch(c.sans, c.host); got != c.want {
+			t.Errorf("sanMatch(%v, %q) = %v, want %v", c.sans, c.host, got, c.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"respectorigin/internal/browser"
+	"respectorigin/internal/faults"
 	"respectorigin/internal/measure"
 )
 
@@ -34,6 +35,18 @@ type ExperimentConfig struct {
 	// VisitsPerZonePerDay drives passive volume.
 	VisitsPerZonePerDay int
 	Seed                int64
+
+	// Faults is the degradation plan sampled per visit; the zero plan
+	// disables injection entirely and leaves every output byte-identical
+	// to a fault-free build.
+	Faults faults.Plan
+	// FaultSeed seeds the fault injector's own RNG stream (so the plan
+	// never perturbs the experiment's sampling streams); 0 derives it
+	// from Seed.
+	FaultSeed int64
+	// FaultRetries is the per-request retry budget browsers get under a
+	// nonzero plan (bounded retry-with-backoff).
+	FaultRetries int
 }
 
 // DefaultExperimentConfig mirrors the paper's setup at reduced scale.
@@ -58,6 +71,7 @@ type Experiment struct {
 
 	rng    *rand.Rand
 	connID atomic.Uint64
+	inj    *faults.Injector
 
 	// SampleZones are the retained treated zones (after the 22% cut).
 	SampleZones []*Zone
@@ -69,6 +83,15 @@ type Experiment struct {
 // treatments randomly, and reissues their certificates (Figure 6).
 func SetupExperiment(c *CDN, cfg ExperimentConfig) *Experiment {
 	e := &Experiment{CDN: c, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if !cfg.Faults.Zero() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			// An independent stream: never shared with e.rng or the log
+			// pipeline, so the plan's draws cannot realign them.
+			seed = cfg.Seed ^ 0x5fa17e
+		}
+		e.inj = faults.NewInjector(cfg.Faults, seed)
+	}
 	for i := 0; i < cfg.SampleSize; i++ {
 		if e.rng.Float64() < cfg.SubpageOnlyFrac {
 			e.Removed++
@@ -132,11 +155,33 @@ type VisitResult struct {
 	NewThirdParty   int // fresh TLS connections opened to the third party
 	CoalescedPools  int
 	ThirdPartyTotal int // third-party request pools exercised
+
+	// Fault accounting (all zero under a zero plan).
+	ZoneFailed     bool // the zone's own connection never came up
+	FailedRequests int  // third-party requests lost to injected faults
+	Retries        int  // browser retry attempts consumed
+	Resets         int  // TCP resets suffered mid-visit
+	GoAways        int  // graceful GOAWAY drains suffered mid-visit
+	Misdirected421 int  // reuse attempts bounced with 421
 }
+
+// connState is the CDN-side per-connection log bookkeeping; connections
+// are identified by the hostname they were opened for (the TLS SNI).
+type connState struct {
+	id    uint64
+	order int
+}
+
+// Injector returns the experiment's fault injector (nil under a zero
+// plan).
+func (e *Experiment) Injector() *faults.Injector { return e.inj }
 
 // Visit simulates one page view of zone by a client with the given
 // user-agent on the given day, emitting sampled log records.
 func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
+	if e.inj != nil {
+		return e.visitFaulted(z, ua, day)
+	}
 	res := VisitResult{Zone: z.Host, UA: ua}
 	observe := func(r LogRecord) {
 		if day >= 0 { // day < 0: active measurement, not production logs
@@ -159,12 +204,6 @@ func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
 		b.Request(e.CDN, z.Host)
 	}
 
-	// Per-connection log state; connections are identified by the
-	// hostname they were opened for (the TLS SNI).
-	type connState struct {
-		id    uint64
-		order int
-	}
 	conns := map[string]*connState{z.Host: {id: zoneConn, order: 1}}
 
 	for pool := 0; pool < z.ThirdPartyPools; pool++ {
@@ -189,30 +228,171 @@ func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
 			continue
 		}
 		out := b.Request(e.CDN, e.CDN.ThirdParty)
-		switch {
-		case out.Reused:
-			cs := conns[out.ConnHost]
-			if cs == nil { // defensive: unknown carrier connection
-				cs = &connState{id: e.connID.Add(1)}
-				conns[out.ConnHost] = cs
+		e.observeOutcome(&res, conns, observe, out, z, ua, day)
+	}
+	return res
+}
+
+// observeOutcome turns one browser outcome into log records and result
+// accounting, maintaining the per-connection arrival orders.
+func (e *Experiment) observeOutcome(res *VisitResult, conns map[string]*connState,
+	observe func(LogRecord), out browser.Outcome, z *Zone, ua string, day int) {
+	switch {
+	case out.Reused:
+		cs := conns[out.ConnHost]
+		if cs == nil {
+			// Defensive: the carrier connection's bookkeeping was lost
+			// (telemetry restart). The connection itself pre-exists this
+			// request — it served at least its own first request — so
+			// its reconstructed state starts at order 1 and this reuse
+			// logs at order ≥ 2, never as a connection's first arrival;
+			// the §5.2 counting rules must not tally it as a fresh TLS
+			// connection even though the collector mints a new ConnID.
+			cs = &connState{id: e.connID.Add(1), order: 1}
+			conns[out.ConnHost] = cs
+		}
+		cs.order++
+		if out.Coalesced() {
+			res.CoalescedPools++
+		}
+		observe(LogRecord{
+			Day: day, ConnID: cs.id, SNI: out.ConnHost, Host: e.CDN.ThirdParty,
+			RefererHost: z.Host, ArrivalOrder: cs.order, Treatment: z.Treatment, UserAgent: ua,
+		})
+	case out.NewConnection:
+		res.NewThirdParty++
+		id := e.connID.Add(1)
+		conns[e.CDN.ThirdParty] = &connState{id: id, order: 1}
+		observe(LogRecord{
+			Day: day, ConnID: id, SNI: e.CDN.ThirdParty, Host: e.CDN.ThirdParty,
+			RefererHost: z.Host, ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
+		})
+	}
+}
+
+// visitFaulted is Visit under a nonzero fault plan: the same flow, with
+// per-visit fault sampling at every opportunity the plan names. All
+// injector draws happen in request order on the injector's own stream,
+// so two runs with the same seeds and plan are byte-identical.
+func (e *Experiment) visitFaulted(z *Zone, ua string, day int) VisitResult {
+	res := VisitResult{Zone: z.Host, UA: ua}
+	observe := func(r LogRecord) {
+		if day >= 0 {
+			e.CDN.Pipeline().Observe(r)
+		}
+	}
+	env := &faults.Env{Inner: e.CDN, Inj: e.inj}
+	policy, h2 := policyForUA(ua)
+
+	// The zone's own connection must survive DNS and the TLS handshake
+	// before any third-party request exists.
+	var b *browser.Browser
+	if h2 {
+		b = browser.New(policy)
+		b.MaxRetries = e.Cfg.FaultRetries
+		b.RetryBackoffMs = 250
+		out := b.Request(env, z.Host)
+		res.Retries += out.Retries
+		if out.Err != nil {
+			res.ZoneFailed = true
+			res.FailedRequests++
+			return res
+		}
+	} else {
+		// Legacy clients: model the same DNS + handshake gauntlet
+		// without a coalescing pool.
+		if _, err := env.Lookup(z.Host); err != nil {
+			res.ZoneFailed = true
+			res.FailedRequests++
+			return res
+		}
+		if e.inj.Hit(faults.KindTLSFail) {
+			res.ZoneFailed = true
+			res.FailedRequests++
+			return res
+		}
+	}
+
+	zoneConn := e.connID.Add(1)
+	observe(LogRecord{
+		Day: day, ConnID: zoneConn, SNI: z.Host, Host: z.Host,
+		ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
+	})
+	if z.Churned {
+		return res
+	}
+
+	conns := map[string]*connState{z.Host: {id: zoneConn, order: 1}}
+
+	for pool := 0; pool < z.ThirdPartyPools; pool++ {
+		res.ThirdPartyTotal++
+
+		// Mid-visit connection faults hit the busiest established
+		// connection: the third-party carrier when one exists, else the
+		// zone connection.
+		target := e.CDN.ThirdParty
+		if _, ok := conns[target]; !ok {
+			target = z.Host
+		}
+		if e.inj.Hit(faults.KindReset) {
+			res.Resets++
+			if b != nil {
+				b.DropConns(target)
 			}
-			cs.order++
-			if out.Coalesced() {
-				res.CoalescedPools++
+			delete(conns, target)
+		} else if e.inj.Hit(faults.KindGoAway) {
+			// Graceful drain: no new requests ride the connection, but
+			// its log state stays valid for records already emitted.
+			res.GoAways++
+			if b != nil {
+				b.DropConns(target)
 			}
-			observe(LogRecord{
-				Day: day, ConnID: cs.id, SNI: out.ConnHost, Host: e.CDN.ThirdParty,
-				RefererHost: z.Host, ArrivalOrder: cs.order, Treatment: z.Treatment, UserAgent: ua,
-			})
-		case out.NewConnection:
+		}
+		if e.inj.Hit(faults.KindLogRestart) {
+			// Telemetry restart: the collector loses every conn's
+			// bookkeeping while the browser pool lives on — the exact
+			// situation the defensive path in observeOutcome handles.
+			for host := range conns {
+				delete(conns, host)
+			}
+		}
+
+		anonymous := false
+		if pool == 0 {
+			anonymous = z.UsesAnonymousFetch
+		} else {
+			anonymous = e.rng.Float64() < 0.5
+		}
+		if e.CDN.Phase() == PhaseOrigin && e.rng.Float64() < e.Cfg.OriginFetchFailFrac {
+			anonymous = true
+		}
+		if !h2 || anonymous {
+			if _, err := env.Lookup(e.CDN.ThirdParty); err != nil {
+				res.FailedRequests++
+				continue
+			}
+			if e.inj.Hit(faults.KindTLSFail) {
+				res.FailedRequests++
+				continue
+			}
 			res.NewThirdParty++
 			id := e.connID.Add(1)
-			conns[e.CDN.ThirdParty] = &connState{id: id, order: 1}
 			observe(LogRecord{
 				Day: day, ConnID: id, SNI: e.CDN.ThirdParty, Host: e.CDN.ThirdParty,
 				RefererHost: z.Host, ArrivalOrder: 1, Treatment: z.Treatment, UserAgent: ua,
 			})
+			continue
 		}
+		out := b.Request(env, e.CDN.ThirdParty)
+		res.Retries += out.Retries
+		if out.Got421 {
+			res.Misdirected421++
+		}
+		if out.Err != nil {
+			res.FailedRequests++
+			continue
+		}
+		e.observeOutcome(&res, conns, observe, out, z, ua, day)
 	}
 	return res
 }
@@ -248,15 +428,19 @@ func (e *Experiment) RunDay(day int) {
 func (e *Experiment) Longitudinal(total, phaseStart, phaseEnd int, phase Phase, isolated netip.Addr, uaFilter string) (control, experiment measure.Series) {
 	e.CDN.Pipeline().Reset()
 	for day := 0; day < total; day++ {
-		switch {
-		case day == phaseStart:
+		// Independent checks, enter before exit: a zero-length window
+		// (phaseStart == phaseEnd) enters and immediately exits on the
+		// same day, so the day runs at baseline instead of leaving the
+		// phase stuck on for the rest of the deployment.
+		if day == phaseStart {
 			switch phase {
 			case PhaseIP:
 				e.CDN.EnterPhaseIP()
 			case PhaseOrigin:
 				e.CDN.EnterPhaseOrigin(isolated)
 			}
-		case day == phaseEnd:
+		}
+		if day == phaseEnd {
 			e.CDN.ExitExperiment()
 		}
 		e.RunDay(day)
@@ -277,6 +461,13 @@ func (e *Experiment) Longitudinal(total, phaseStart, phaseEnd int, phase Phase, 
 			continue
 		}
 		seen[r.ConnID] = true
+		if r.ArrivalOrder != 1 {
+			// A ConnID whose first sampled record arrives at order ≥ 2
+			// is a reused connection whose opening record was lost (the
+			// telemetry-restart path in observeOutcome), not a new TLS
+			// handshake — keep it out of the §5.2 tally.
+			continue
+		}
 		switch r.Treatment {
 		case TreatmentControl:
 			ctl[r.Day]++

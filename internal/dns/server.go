@@ -19,6 +19,13 @@ type Authority struct {
 	// AnswerLimit caps returned address records per answer (0 = all).
 	AnswerLimit int
 
+	// Failure, when non-nil, is consulted per question before resolution
+	// and may force a non-success rcode (e.g. RcodeServerFailure for an
+	// injected SERVFAIL). Returning RcodeSuccess resolves normally. Fault
+	// injection installs it; it must be deterministic for reproducible
+	// runs.
+	Failure func(name string, typ uint16) uint8
+
 	queries int64
 }
 
@@ -107,6 +114,13 @@ func (a *Authority) Handle(q *Message) *Message {
 		return resp
 	}
 	question := q.Questions[0]
+	if a.Failure != nil {
+		if rcode := a.Failure(question.Name, question.Type); rcode != RcodeSuccess {
+			resp.Header.AA = false
+			resp.Header.Rcode = rcode
+			return resp
+		}
+	}
 	answers, found := a.resolve(question.Name, question.Type, 0)
 	if !found {
 		resp.Header.Rcode = RcodeNameError

@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"net/netip"
+
+	"respectorigin/internal/browser"
+)
+
+// Env wraps a browser.Environment with fault injection at the network
+// boundary the browser sees:
+//
+//   - Lookup fails with SERVFAIL or a resolver timeout,
+//   - fresh connection attempts fail their TLS handshake (reported
+//     through the browser.ConnectFailer extension),
+//   - reuse authorization flaps (stale origin sets / de-provisioned
+//     edges), so reuse attempts bounce with 421 as in §5.3.
+//
+// Certificate SANs and origin sets pass through unchanged: the fault is
+// the edge no longer honoring what it advertised, not the advertisement
+// itself.
+type Env struct {
+	Inner browser.Environment
+	Inj   *Injector
+}
+
+var (
+	_ browser.Environment   = (*Env)(nil)
+	_ browser.ConnectFailer = (*Env)(nil)
+)
+
+// Lookup resolves through the inner environment unless a DNS fault
+// fires first.
+func (e *Env) Lookup(host string) ([]netip.Addr, error) {
+	if e.Inj.Hit(KindDNSFail) {
+		return nil, ErrDNSServFail
+	}
+	if e.Inj.Hit(KindDNSTimeout) {
+		return nil, ErrDNSTimeout
+	}
+	return e.Inner.Lookup(host)
+}
+
+// CertSANs passes through.
+func (e *Env) CertSANs(host string, ip netip.Addr) []string {
+	return e.Inner.CertSANs(host, ip)
+}
+
+// OriginSet passes through.
+func (e *Env) OriginSet(host string, ip netip.Addr) []string {
+	return e.Inner.OriginSet(host, ip)
+}
+
+// Reachable consults the inner environment and then rolls the
+// stale-origin fault: a hit downgrades an authoritative edge to a 421,
+// the fail-open behaviour the paper observed for misconfigured origin
+// sets.
+func (e *Env) Reachable(host string, ip netip.Addr) bool {
+	ok := e.Inner.Reachable(host, ip)
+	if ok && e.Inj.Hit(KindStaleOrigin) {
+		return false
+	}
+	return ok
+}
+
+// ConnectFail implements browser.ConnectFailer: fresh connections fail
+// their TLS handshake with the plan's TLSFailProb.
+func (e *Env) ConnectFail(host string, ip netip.Addr) error {
+	if e.Inj.Hit(KindTLSFail) {
+		return ErrTLSHandshake
+	}
+	return nil
+}

@@ -2,12 +2,14 @@ package h2
 
 import (
 	"crypto/tls"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"respectorigin/internal/hpack"
 )
@@ -59,6 +61,26 @@ type ClientConnOptions struct {
 
 	// MaxFrameSize advertises SETTINGS_MAX_FRAME_SIZE; 0 means 16384.
 	MaxFrameSize uint32
+
+	// ReadTimeout bounds peer silence: a fresh read deadline is armed
+	// before every frame read, and a connection quiet for longer fails
+	// with a timeout error (IsTimeout reports true). With PingInterval
+	// set, ReadTimeout must exceed it or the idle timer fires before the
+	// liveness probe. Zero disables.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each flush of the write queue, so a peer that
+	// stops reading cannot wedge the writer forever. Zero disables.
+	WriteTimeout time.Duration
+
+	// PingInterval, when positive, runs a keepalive goroutine that sends
+	// a PING every interval and tears the connection down when the ack
+	// does not arrive within PingTimeout — the liveness check a browser
+	// needs before trusting a pooled connection for coalesced requests.
+	PingInterval time.Duration
+
+	// PingTimeout is the keepalive ack deadline; 0 means PingInterval.
+	PingTimeout time.Duration
 }
 
 // A ClientConn is the client side of an HTTP/2 connection. Its methods
@@ -77,13 +99,16 @@ type ClientConn struct {
 	sendFlow *sendFlow
 	recvFlow *recvFlow
 
-	mu             sync.Mutex
-	nextStreamID   uint32
-	streams        map[uint32]*clientStream
-	maxSendFrame   uint32
-	peerMaxStreams uint32
-	closed         bool
-	connErr        error
+	mu              sync.Mutex
+	nextStreamID    uint32
+	streams         map[uint32]*clientStream
+	maxSendFrame    uint32
+	peerMaxStreams  uint32
+	closed          bool // no new requests (set by Close, Shutdown, GOAWAY, read-loop exit)
+	transportClosed bool // nc torn down; distinct from closed so Close
+	// after a graceful GOAWAY still releases the socket and read loop
+	connErr error
+	drained chan struct{} // lazily made by Shutdown; closed when streams empties
 
 	originSet        *OriginSet
 	originFramesSeen int
@@ -145,6 +170,12 @@ func NewClientConn(nc net.Conn, opts ClientConnOptions) (*ClientConn, error) {
 		mfs = minMaxFrameSize
 	}
 	cc.fr.SetMaxReadFrameSize(mfs)
+	if opts.ReadTimeout > 0 {
+		cc.fr.SetReadTimeout(nc, opts.ReadTimeout)
+	}
+	if opts.WriteTimeout > 0 {
+		aw.setWriteTimeout(nc, opts.WriteTimeout)
+	}
 	// Start reading before sending SETTINGS: over fully synchronous
 	// transports (net.Pipe) the server's preface write would otherwise
 	// deadlock against ours.
@@ -154,6 +185,9 @@ func NewClientConn(nc net.Conn, opts ClientConnOptions) (*ClientConn, error) {
 		Setting{SettingMaxFrameSize, mfs},
 	); err != nil {
 		return nil, err
+	}
+	if opts.PingInterval > 0 {
+		go cc.keepalive()
 	}
 	return cc, nil
 }
@@ -296,6 +330,7 @@ func (cc *ClientConn) abortStream(cs *clientStream, err error) {
 		cs.err = err
 		close(cs.done)
 	}
+	cc.signalDrainedLocked()
 	cc.mu.Unlock()
 	cc.sendFlow.closeStream(cs.id)
 }
@@ -306,25 +341,91 @@ func (cc *ClientConn) finishStream(cs *clientStream) {
 		delete(cc.streams, cs.id)
 		close(cs.done)
 	}
+	cc.signalDrainedLocked()
 	cc.mu.Unlock()
 	cc.sendFlow.closeStream(cs.id)
 }
 
-// Close tears down the connection, sending GOAWAY(NO_ERROR) first.
-func (cc *ClientConn) Close() error {
+// signalDrainedLocked wakes a waiting Shutdown once the last in-flight
+// stream is gone. Callers hold cc.mu.
+func (cc *ClientConn) signalDrainedLocked() {
+	if cc.drained != nil && len(cc.streams) == 0 {
+		select {
+		case <-cc.drained:
+		default:
+			close(cc.drained)
+		}
+	}
+}
+
+// closeTransport tears the transport down exactly once, however many
+// paths (Close, Shutdown, keepalive failure) race to it.
+func (cc *ClientConn) closeTransport() error {
 	cc.mu.Lock()
-	if cc.closed {
+	if cc.transportClosed {
 		cc.mu.Unlock()
 		return nil
 	}
+	cc.transportClosed = true
+	cc.closed = true
+	cc.mu.Unlock()
+	_ = cc.aw.Close()
+	return cc.nc.Close()
+}
+
+// Close tears down the connection, sending GOAWAY(NO_ERROR) first when
+// the connection is still live. After a peer GOAWAY or a fatal error the
+// frames stop, but the transport and read loop are still released —
+// Close must never leave the socket or its goroutines behind.
+func (cc *ClientConn) Close() error {
+	cc.mu.Lock()
+	if cc.transportClosed {
+		cc.mu.Unlock()
+		<-cc.readerDone
+		return nil
+	}
+	wasClosed := cc.closed
 	cc.closed = true
 	last := cc.nextStreamID - 2
 	cc.mu.Unlock()
-	_ = cc.fr.WriteGoAway(last, ErrCodeNo, nil)
-	_ = cc.aw.Close()
-	err := cc.nc.Close()
+	if !wasClosed {
+		_ = cc.fr.WriteGoAway(last, ErrCodeNo, nil)
+	}
+	err := cc.closeTransport()
 	<-cc.readerDone
 	return err
+}
+
+// Shutdown drains the connection gracefully: it announces GOAWAY, stops
+// accepting new requests, waits up to timeout for in-flight streams to
+// finish, then closes the transport. It returns nil when the drain
+// completed in time and a timeout error when streams were cut off.
+func (cc *ClientConn) Shutdown(timeout time.Duration) error {
+	cc.mu.Lock()
+	wasClosed := cc.closed
+	cc.closed = true
+	last := cc.nextStreamID - 2
+	if cc.drained == nil {
+		cc.drained = make(chan struct{})
+	}
+	drained := cc.drained
+	cc.signalDrainedLocked()
+	cc.mu.Unlock()
+	if !wasClosed {
+		_ = cc.fr.WriteGoAway(last, ErrCodeNo, []byte("client shutdown"))
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var derr error
+	select {
+	case <-drained:
+	case <-cc.readerDone:
+	case <-timer.C:
+		derr = fmt.Errorf("h2: shutdown timed out after %v with streams in flight", timeout)
+	}
+	_ = cc.closeTransport()
+	<-cc.readerDone
+	return derr
 }
 
 // AltSvcs returns the alternative services advertised on the
@@ -335,14 +436,14 @@ func (cc *ClientConn) AltSvcs() []AltSvc {
 	return append([]AltSvc(nil), cc.altSvcs...)
 }
 
-// Ping sends a PING frame and blocks until its acknowledgement arrives
-// or the connection fails, measuring connection liveness.
-func (cc *ClientConn) Ping(data [8]byte) error {
+// sendPing registers and writes a PING, returning the channel its ack
+// closes.
+func (cc *ClientConn) sendPing(data [8]byte) (chan struct{}, error) {
 	ch := make(chan struct{})
 	cc.pingMu.Lock()
 	if _, dup := cc.pingWait[data]; dup {
 		cc.pingMu.Unlock()
-		return errors.New("h2: ping with duplicate payload in flight")
+		return nil, errors.New("h2: ping with duplicate payload in flight")
 	}
 	cc.pingWait[data] = ch
 	cc.pingMu.Unlock()
@@ -350,6 +451,16 @@ func (cc *ClientConn) Ping(data [8]byte) error {
 		cc.pingMu.Lock()
 		delete(cc.pingWait, data)
 		cc.pingMu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Ping sends a PING frame and blocks until its acknowledgement arrives
+// or the connection fails, measuring connection liveness.
+func (cc *ClientConn) Ping(data [8]byte) error {
+	ch, err := cc.sendPing(data)
+	if err != nil {
 		return err
 	}
 	select {
@@ -357,6 +468,67 @@ func (cc *ClientConn) Ping(data [8]byte) error {
 		return nil
 	case <-cc.readerDone:
 		return errors.New("h2: connection closed before ping ack")
+	}
+}
+
+// PingTimeout is Ping with a deadline: an ack that does not arrive
+// within d is a liveness failure (IsTimeout is false for it — the error
+// is a plain deadline miss, not a transport timeout).
+func (cc *ClientConn) PingTimeout(data [8]byte, d time.Duration) error {
+	ch, err := cc.sendPing(data)
+	if err != nil {
+		return err
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-cc.readerDone:
+		return errors.New("h2: connection closed before ping ack")
+	case <-timer.C:
+		cc.pingMu.Lock()
+		delete(cc.pingWait, data)
+		cc.pingMu.Unlock()
+		return fmt.Errorf("h2: no ping ack within %v", d)
+	}
+}
+
+// keepalivePrefix tags keepalive probe payloads so they never collide
+// with caller-issued Ping payloads.
+const keepalivePrefix = uint32(0x6b70616c) // "kpal"
+
+// keepalive probes the connection every PingInterval and tears the
+// transport down when the peer stops acknowledging — so pooled
+// connections held open for coalescing cannot silently die and wedge
+// every later request that trusts them.
+func (cc *ClientConn) keepalive() {
+	timeout := cc.opts.PingTimeout
+	if timeout <= 0 {
+		timeout = cc.opts.PingInterval
+	}
+	ticker := time.NewTicker(cc.opts.PingInterval)
+	defer ticker.Stop()
+	var seq uint32
+	for {
+		select {
+		case <-cc.readerDone:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		var data [8]byte
+		binary.BigEndian.PutUint32(data[:4], keepalivePrefix)
+		binary.BigEndian.PutUint32(data[4:], seq)
+		if err := cc.PingTimeout(data, timeout); err != nil {
+			cc.mu.Lock()
+			if cc.connErr == nil {
+				cc.connErr = fmt.Errorf("h2: keepalive failed: %w", err)
+			}
+			cc.mu.Unlock()
+			_ = cc.closeTransport()
+			return
+		}
 	}
 }
 
@@ -378,6 +550,7 @@ func (cc *ClientConn) readLoop() {
 	}
 	streams := cc.streams
 	cc.streams = make(map[uint32]*clientStream)
+	cc.signalDrainedLocked()
 	cc.mu.Unlock()
 	for _, cs := range streams {
 		cs.err = err
@@ -500,6 +673,7 @@ func (cc *ClientConn) onGoAway(f *GoAwayFrame) error {
 			delete(cc.streams, id)
 		}
 	}
+	cc.signalDrainedLocked()
 	cc.mu.Unlock()
 	for _, cs := range refused {
 		cs.err = gerr
@@ -619,6 +793,7 @@ func (cc *ClientConn) failStream(id uint32, err error) {
 	if cs != nil {
 		delete(cc.streams, id)
 	}
+	cc.signalDrainedLocked()
 	cc.mu.Unlock()
 	if cs != nil {
 		cs.err = err

@@ -18,7 +18,11 @@
 // this repository.
 package h2
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"net"
+)
 
 // An ErrCode is an HTTP/2 error code from RFC 9113 §7.
 type ErrCode uint32
@@ -108,4 +112,12 @@ type GoAwayError struct {
 func (e GoAwayError) Error() string {
 	return fmt.Sprintf("h2: peer sent GOAWAY (last stream %d, %v, %q)",
 		e.LastStreamID, e.Code, e.DebugData)
+}
+
+// IsTimeout reports whether err is (or wraps) a network timeout — the
+// error shape a Framer read/write deadline produces when the peer goes
+// silent past the configured ReadTimeout/WriteTimeout.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

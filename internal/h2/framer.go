@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // A Framer reads and writes HTTP/2 frames on an underlying reader and
@@ -24,6 +25,11 @@ type Framer struct {
 	// maxReadSize is the largest frame payload this endpoint advertised
 	// (SETTINGS_MAX_FRAME_SIZE); larger frames are a FRAME_SIZE_ERROR.
 	maxReadSize uint32
+
+	// rdl, when non-nil, gets a fresh read deadline armed before every
+	// frame read, bounding how long the peer may stay silent.
+	rdl         interface{ SetReadDeadline(time.Time) error }
+	readTimeout time.Duration
 
 	// AllowIllegalWrites disables write-side validation. It is used by
 	// tests and by the non-compliance harness to produce malformed
@@ -52,9 +58,23 @@ func (fr *Framer) SetMaxReadFrameSize(n uint32) {
 	fr.maxReadSize = n
 }
 
+// SetReadTimeout arms a read deadline of d on c before every subsequent
+// ReadFrame: a peer silent for longer than d between frames fails the
+// read with a timeout error (IsTimeout reports true for it). Endpoints
+// running keepalive PINGs must keep d above the ping interval or the
+// idle timer fires before the liveness probe does. It must be called
+// before the read loop starts; a zero d disarms.
+func (fr *Framer) SetReadTimeout(c interface{ SetReadDeadline(time.Time) error }, d time.Duration) {
+	fr.rdl = c
+	fr.readTimeout = d
+}
+
 // ReadFrame reads and parses one frame. It returns ConnectionError for
 // protocol violations that must tear down the connection.
 func (fr *Framer) ReadFrame() (Frame, error) {
+	if fr.rdl != nil && fr.readTimeout > 0 {
+		_ = fr.rdl.SetReadDeadline(time.Now().Add(fr.readTimeout))
+	}
 	hdr, err := readFrameHeader(fr.r, fr.rbuf[:frameHeaderLen])
 	if err != nil {
 		return nil, err

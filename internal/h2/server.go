@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"respectorigin/internal/hpack"
 )
@@ -84,6 +85,15 @@ type Server struct {
 	// CountersFor, when non-nil, receives the per-connection counters
 	// when a connection finishes, for measurement harnesses.
 	CountersFor func(ConnCounters)
+
+	// ReadTimeout bounds client silence: it covers the preface read and
+	// is re-armed before every frame, so an idle or dead client releases
+	// the connection instead of holding it forever. Zero disables.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each flush of the write queue toward a client
+	// that stopped reading. Zero disables.
+	WriteTimeout time.Duration
 }
 
 // ConnCounters aggregates per-connection observability counters.
@@ -151,6 +161,12 @@ func (s *Server) serveConn(nc net.Conn, stopCh <-chan struct{}) (*serverConn, er
 		sc.hw.enc.SetHuffman(false)
 	}
 	sc.hr = &headerReader{dec: hpack.NewDecoder()}
+	if s.ReadTimeout > 0 {
+		sc.fr.SetReadTimeout(nc, s.ReadTimeout)
+	}
+	if s.WriteTimeout > 0 {
+		aw.setWriteTimeout(nc, s.WriteTimeout)
+	}
 	if stopCh != nil {
 		go func() {
 			<-stopCh
@@ -283,6 +299,9 @@ func (sc *serverConn) serve() error {
 }
 
 func (sc *serverConn) readPreface() error {
+	if d := sc.srv.ReadTimeout; d > 0 {
+		_ = sc.nc.SetReadDeadline(time.Now().Add(d))
+	}
 	buf := make([]byte, len(ClientPreface))
 	if _, err := io.ReadFull(sc.nc, buf); err != nil {
 		return fmt.Errorf("h2: reading client preface: %w", err)
@@ -381,6 +400,16 @@ func (sc *serverConn) dispatch(f Frame) error {
 	case *GoAwayFrame:
 		sc.mu.Lock()
 		sc.goAwayReceived = true
+		active := sc.activeStreams
+		if f.ErrCode == ErrCodeNo && active > 0 {
+			// Graceful client shutdown with responses still in flight:
+			// keep serving until they finish (closeStream shuts the
+			// transport once the last one drains). The draining flag
+			// also refuses any stray new streams.
+			sc.draining = true
+			sc.mu.Unlock()
+			return nil
+		}
 		sc.mu.Unlock()
 		return io.EOF // peer is going away; drain and exit
 	case *PushPromiseFrame:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 )
 
 // asyncWriter decouples frame production from the transport: writes are
@@ -26,6 +27,20 @@ type asyncWriter struct {
 	err    error
 	closed bool
 	done   chan struct{}
+
+	// wdl, when non-nil, gets a write deadline of wtimeout armed before
+	// every chunk the pump flushes, so a peer that stops reading cannot
+	// wedge the pump (and with it Close) forever.
+	wdl      interface{ SetWriteDeadline(time.Time) error }
+	wtimeout time.Duration
+}
+
+// setWriteTimeout arms per-chunk write deadlines on c; zero d disarms.
+func (aw *asyncWriter) setWriteTimeout(c interface{ SetWriteDeadline(time.Time) error }, d time.Duration) {
+	aw.mu.Lock()
+	aw.wdl = c
+	aw.wtimeout = d
+	aw.mu.Unlock()
 }
 
 func newAsyncWriter(w io.Writer) *asyncWriter {
@@ -81,8 +96,12 @@ func (aw *asyncWriter) pump() {
 		}
 		chunk = append(chunk[:0], aw.buf...)
 		aw.buf = aw.buf[:0]
+		wdl, wt := aw.wdl, aw.wtimeout
 		aw.mu.Unlock()
 
+		if wdl != nil && wt > 0 {
+			_ = wdl.SetWriteDeadline(time.Now().Add(wt))
+		}
 		if _, err := aw.w.Write(chunk); err != nil {
 			aw.mu.Lock()
 			aw.err = err

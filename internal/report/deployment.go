@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"respectorigin/internal/cdn"
+	"respectorigin/internal/faults"
 	"respectorigin/internal/measure"
 )
 
@@ -22,12 +23,51 @@ type Deployment struct {
 
 // NewDeployment sets up a CDN and sample group.
 func NewDeployment(sampleSize int, seed int64) *Deployment {
+	return NewDeploymentWithFaults(sampleSize, seed, faults.Plan{}, 0)
+}
+
+// NewDeploymentWithFaults is NewDeployment under a fault plan: every
+// visit samples the plan, browsers get the given retry budget, and the
+// zero plan reduces exactly to NewDeployment.
+func NewDeploymentWithFaults(sampleSize int, seed int64, plan faults.Plan, retries int) *Deployment {
 	c := cdn.New(cdn.Config{SampleRate: 1, Seed: seed})
 	cfg := cdn.DefaultExperimentConfig()
 	cfg.SampleSize = sampleSize
 	cfg.Seed = seed
+	cfg.Faults = plan
+	cfg.FaultRetries = retries
 	e := cdn.SetupExperiment(c, cfg)
 	return &Deployment{CDN: c, Exp: e}
+}
+
+// FaultReport renders the injector's per-kind accounting, or a disabled
+// notice under a zero plan.
+func (d *Deployment) FaultReport() string {
+	return d.Exp.Injector().Report()
+}
+
+// FaultSweep regenerates the Figure 8 deployment-window ratio across
+// reset rates (each run a fresh deployment with the same seed, so the
+// only difference between rows is the plan). It reports, per rate, the
+// experiment/control ratio during the window and the per-kind fault
+// counts — the "how much degradation until the coalescing signal
+// drowns" view of EXPERIMENTS.md.
+func FaultSweep(sampleSize int, seed int64, totalDays, phaseStart, phaseEnd int, resetRates []float64) string {
+	var sb strings.Builder
+	sb.WriteString("Fault sweep: Figure 8 deployment-window ratio vs. injected reset rate\n")
+	sb.WriteString("  reset%   exp/ctl ratio   resets injected\n")
+	for _, rate := range resetRates {
+		d := NewDeploymentWithFaults(sampleSize, seed, faults.Plan{ResetProb: rate / 100}, 1)
+		control, experiment := d.Exp.Longitudinal(totalDays, phaseStart, phaseEnd,
+			cdn.PhaseOrigin, isolatedAddr, "firefox")
+		ratio := experiment.Mean(phaseStart, phaseEnd) / nz(control.Mean(phaseStart, phaseEnd))
+		var hits int64
+		if inj := d.Exp.Injector(); inj != nil {
+			_, hits = inj.Counts(faults.KindReset)
+		}
+		fmt.Fprintf(&sb, "  %5.1f    %13.2f   %15d\n", rate, ratio, hits)
+	}
+	return sb.String()
 }
 
 // Figure6 renders the certificate issuance setup.

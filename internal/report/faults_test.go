@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"respectorigin/internal/faults"
+)
+
+// TestZeroPlanDeploymentMatchesDefault: NewDeploymentWithFaults under
+// the zero plan is NewDeployment, down to every rendered byte.
+func TestZeroPlanDeploymentMatchesDefault(t *testing.T) {
+	a := NewDeployment(120, 7)
+	b := NewDeploymentWithFaults(120, 7, faults.Plan{}, 0)
+	if a.Figure6() != b.Figure6() {
+		t.Error("Figure 6 differs under a zero fault plan")
+	}
+	_, _, ta := a.Figure8(8, 2, 6)
+	_, _, tb := b.Figure8(8, 2, 6)
+	if ta != tb {
+		t.Errorf("Figure 8 differs under a zero fault plan:\n%s\nvs\n%s", ta, tb)
+	}
+	if got := b.FaultReport(); got != "faults: disabled" {
+		t.Errorf("FaultReport under zero plan = %q", got)
+	}
+}
+
+// TestFaultSweepDeterministicAndMonotoneOpportunities pins the sweep's
+// shape: same inputs render identically, the zero-rate row injects
+// nothing, and higher rates inject strictly more resets.
+func TestFaultSweepDeterministicAndMonotoneOpportunities(t *testing.T) {
+	rates := []float64{0, 1, 5}
+	a := FaultSweep(150, 3, 8, 2, 6, rates)
+	if b := FaultSweep(150, 3, 8, 2, 6, rates); a != b {
+		t.Errorf("sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 2+len(rates) {
+		t.Fatalf("sweep rendered %d lines, want %d:\n%s", len(lines), 2+len(rates), a)
+	}
+	var prev int64 = -1
+	for i, ln := range lines[2:] {
+		fields := strings.Fields(ln)
+		if len(fields) != 3 {
+			t.Fatalf("row %d malformed: %q", i, ln)
+		}
+		resets, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			t.Fatalf("row %d resets %q: %v", i, fields[2], err)
+		}
+		if i == 0 && resets != 0 {
+			t.Errorf("zero-rate row injected %d resets", resets)
+		}
+		if resets <= prev && i > 0 {
+			t.Errorf("row %d resets %d not above previous %d", i, resets, prev)
+		}
+		prev = resets
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"respectorigin/internal/cdn"
+	"respectorigin/internal/faults"
 	"respectorigin/internal/measure"
 	"respectorigin/internal/netsim"
 )
@@ -32,7 +33,13 @@ func (d *Deployment) Figure9Deployment(seed int64) (Figure9DeploymentData, strin
 	defer d.CDN.ExitExperiment()
 
 	rng := rand.New(rand.NewSource(seed))
-	net := netsim.New(netsim.DefaultParams(), seed)
+	params := netsim.DefaultParams()
+	if inj := d.Exp.Injector(); inj.Enabled() {
+		// Degraded networks stretch every setup phase on the critical
+		// path by the loss-driven retransmission penalty.
+		params.LatencyScale = faults.InflationFactor(inj.Plan().LossPct)
+	}
+	net := netsim.New(params, seed)
 
 	var ctl, exp []float64
 	for _, z := range d.Exp.SampleZones {
