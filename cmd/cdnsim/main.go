@@ -20,10 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+
+	_ "net/http/pprof"
 
 	"respectorigin/internal/cdn"
 	"respectorigin/internal/faults"
+	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 )
 
@@ -35,6 +39,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan, e.g. reset=0.05,dnsfail=0.01,stale=0.02,loss=2 (empty: none)")
 	retries := flag.Int("retries", 1, "browser retry budget under a nonzero fault plan")
 	sweep := flag.Bool("faultsweep", false, "run the Figure 8 fault sweep (reset rates 0/1/5%) and exit")
+	traceOut := flag.String("trace", "", "write per-visit trace events as NDJSON to this file (- for stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run")
 	flag.Parse()
 
 	plan, err := faults.ParsePlan(*faultSpec)
@@ -50,6 +56,27 @@ func main() {
 	}
 
 	d := report.NewDeploymentWithFaults(*sample, *seed, plan, *retries)
+
+	var trace *obs.Trace
+	var recs []obs.Recorder
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+		recs = append(recs, trace)
+	}
+	if *metricsAddr != "" {
+		metrics := obs.NewMetrics()
+		metrics.PublishExpvar("cdnsim")
+		recs = append(recs, metrics)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "cdnsim: metrics server: %v\n", err)
+			}
+		}()
+	}
+	if len(recs) > 0 {
+		d.Exp.SetRecorder(obs.Multi(recs...))
+	}
+
 	fmt.Println(d.Figure6())
 
 	runIP := *phase == "ip" || *phase == "all"
@@ -79,5 +106,22 @@ func main() {
 	}
 	if !plan.Zero() {
 		fmt.Println(d.FaultReport())
+	}
+	if trace != nil {
+		w := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteNDJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cdnsim: %d trace events -> %s\n", trace.Len(), *traceOut)
 	}
 }

@@ -19,7 +19,9 @@ import (
 	"os"
 	"runtime"
 
+	"respectorigin/internal/core"
 	"respectorigin/internal/har"
+	"respectorigin/internal/obs"
 	"respectorigin/internal/webgen"
 )
 
@@ -28,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic generator seed")
 	out := flag.String("out", "dataset.ndjson", "output file (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "generation worker goroutines")
+	traceOut := flag.String("trace", "", "write per-page-load trace events as NDJSON to this file")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -47,7 +50,16 @@ func main() {
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sw := har.NewStreamWriter(bw)
-	res, err := webgen.GenerateStream(cfg, sw.Write)
+	emit := sw.Write
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+		emit = func(p *har.Page) error {
+			core.EmitPageEvents(trace, p)
+			return sw.Write(p)
+		}
+	}
+	res, err := webgen.GenerateStream(cfg, emit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)
@@ -58,4 +70,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d successful page loads (%d failures) -> %s\n",
 		res.Pages, res.Failures, *out)
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteNDJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "crawl:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "crawl: %d trace events -> %s\n", trace.Len(), *traceOut)
+	}
 }

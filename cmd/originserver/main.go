@@ -23,12 +23,16 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
+
+	_ "net/http/pprof"
 
 	"respectorigin/internal/certs"
 	"respectorigin/internal/h2"
 	"respectorigin/internal/hpack"
+	"respectorigin/internal/obs"
 )
 
 func main() {
@@ -36,6 +40,7 @@ func main() {
 	hosts := flag.String("hosts", "www.site.example,cdnjs.shared.example", "comma-separated hostnames on the certificate")
 	origins := flag.String("origins", "", "comma-separated origin set (default: all hosts)")
 	caOut := flag.String("ca-out", "", "write the CA certificate PEM here for clients")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	flag.Parse()
 
 	hostList := splitNonEmpty(*hosts)
@@ -67,6 +72,18 @@ func main() {
 	for _, h := range hostList {
 		authoritative[h] = true
 	}
+	var metrics *obs.Metrics
+	if *metricsAddr != "" {
+		metrics = obs.NewMetrics()
+		metrics.PublishExpvar("originserver")
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/debug/vars (pprof under /debug/pprof)", *metricsAddr)
+	}
+
 	srv := &h2.Server{
 		Handler: h2.HandlerFunc(func(w *h2.ResponseWriter, r *h2.Request) {
 			w.WriteHeader(200,
@@ -83,6 +100,9 @@ func main() {
 			}
 			return authoritative[host]
 		},
+	}
+	if metrics != nil {
+		srv.Recorder = metrics
 	}
 
 	tlsCfg := &tls.Config{

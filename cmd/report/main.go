@@ -17,6 +17,7 @@ import (
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/har"
+	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
 )
@@ -34,7 +35,24 @@ func main() {
 	policiesOnly := flag.Bool("policies", false, "print only the §2.3 policy cross-validation")
 	schedOnly := flag.Bool("scheduling", false, "print only the §6.1 delivery-ordering comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for generation and analysis")
+	funnelFile := flag.String("funnel", "", "print the coalescing funnel of this NDJSON trace (crawl/cdnsim -trace output) and exit")
 	flag.Parse()
+
+	if *funnelFile != "" {
+		f, err := os.Open(*funnelFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		evs, err := obs.ReadNDJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.FunnelFromEvents(evs).TableString())
+		return
+	}
 
 	var ds *webgen.Dataset
 	if *harFile != "" {

@@ -19,8 +19,18 @@
 package browser
 
 import (
+	"errors"
 	"net/netip"
+
+	"respectorigin/internal/obs"
 )
+
+// ErrNoAddresses reports a DNS response that succeeded but carried no
+// usable addresses. For connection purposes this is a failure: without
+// it, such a request would produce an Outcome with no connection, no
+// reuse, and a nil Err, silently vanishing from the per-page failure
+// tally (TotalFailed).
+var ErrNoAddresses = errors.New("browser: DNS answer contained no addresses")
 
 // Policy selects a coalescing behaviour.
 type Policy int
@@ -166,6 +176,15 @@ type Browser struct {
 	// does not sleep in wall-clock time).
 	RetryBackoffMs float64
 
+	// Rec, when non-nil, receives one span-style event per step of
+	// every request (DNS query → TLS handshake → coalesce decision)
+	// plus "browser.*" counters. Rank tags the events with the page
+	// load they belong to; Seq within a rank is assigned here in
+	// request order. Pure observation: no policy decision reads it.
+	Rec  obs.Recorder
+	Rank int
+
+	seq   int
 	conns []*Conn
 
 	// Totals across all requests.
@@ -232,6 +251,19 @@ func (b *Browser) FailureCounts() map[string]int {
 	}
 }
 
+// emit appends one event to the recorder, stamping it with the
+// browser's rank and the next sequence number. A nil recorder skips
+// the sequence bump so uninstrumented runs stay allocation-free.
+func (b *Browser) emit(ev obs.Event) {
+	if b.Rec == nil {
+		return
+	}
+	ev.Rank = b.Rank
+	ev.Seq = b.seq
+	b.seq++
+	b.Rec.Event(ev)
+}
+
 // Request fetches host through the pool, coalescing when the policy
 // permits.
 func (b *Browser) Request(env Environment, host string) Outcome {
@@ -251,6 +283,7 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 			if env.Reachable(host, c.IP) {
 				out.Reused, out.ViaOrigin = true, true
 				out.ConnHost = c.Host
+				b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "origin"})
 				b.account(out)
 				return out
 			}
@@ -258,8 +291,12 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 			// fallback reuses the blocking query's answer set; a second
 			// lookup would double-count DNS for this one request.
 			out.Got421 = true
+			b.emit(obs.Event{Kind: obs.KindMisdirected, Host: host, Conn: c.Host, Detail: "origin"})
 			if looked {
 				if lookupErr != nil || len(addrs) == 0 {
+					if lookupErr == nil {
+						lookupErr = ErrNoAddresses
+					}
 					out.Err = lookupErr
 					b.account(out)
 					return out
@@ -273,6 +310,9 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 	// IP-based paths always query DNS.
 	addrs, err := b.lookup(env, host, &out)
 	if err != nil || len(addrs) == 0 {
+		if err == nil {
+			err = ErrNoAddresses
+		}
 		out.Err = err
 		b.account(out)
 		return out
@@ -282,10 +322,12 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 		if env.Reachable(host, c.IP) {
 			out.Reused = true
 			out.ConnHost = c.Host
+			b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "ip"})
 			b.account(out)
 			return out
 		}
 		out.Got421 = true
+		b.emit(obs.Event{Kind: obs.KindMisdirected, Host: host, Conn: c.Host, Detail: "ip"})
 	}
 	return b.connectFreshWithAddrs(env, host, addrs, out)
 }
@@ -336,11 +378,13 @@ func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
 func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Addr, error) {
 	for try := 0; ; try++ {
 		out.DNSQueries++
+		b.emit(obs.Event{Kind: obs.KindDNSQuery, Host: host, N: try + 1})
 		addrs, err := env.Lookup(host)
 		if err == nil {
 			return addrs, nil
 		}
 		b.TotalDNSFail++
+		b.emit(obs.Event{Kind: obs.KindDNSFail, Host: host, Detail: err.Error()})
 		if try >= b.MaxRetries {
 			return nil, err
 		}
@@ -356,11 +400,15 @@ func (b *Browser) retryDelay(try int, out *Outcome) {
 	d := b.RetryBackoffMs * float64(int64(1)<<try)
 	out.BackoffMs += d
 	b.TotalBackoffMs += d
+	b.emit(obs.Event{Kind: obs.KindRetry, Host: out.Host, N: out.Retries, MS: d})
 }
 
 func (b *Browser) connectFresh(env Environment, host string, out Outcome) Outcome {
 	addrs, err := b.lookup(env, host, &out)
 	if err != nil || len(addrs) == 0 {
+		if err == nil {
+			err = ErrNoAddresses
+		}
 		out.Err = err
 		b.account(out)
 		return out
@@ -386,6 +434,7 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 			}
 			out.FailedConnect = true
 			b.TotalConnFail++
+			b.emit(obs.Event{Kind: obs.KindConnectFail, Host: host, Detail: ip.String()})
 		}
 		if !connected {
 			out.Err = connErr
@@ -414,6 +463,10 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 	b.conns = append(b.conns, c)
 	out.NewConnection = true
 	out.ConnHost = host
+	b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+	if len(c.Origins) > 0 {
+		b.emit(obs.Event{Kind: obs.KindOriginFrame, Host: host, N: len(c.Origins)})
+	}
 	b.account(out)
 	return out
 }
@@ -431,5 +484,24 @@ func (b *Browser) account(out Outcome) {
 	}
 	if out.Err != nil {
 		b.TotalFailed++
+	}
+	if b.Rec != nil {
+		obs.Count(b.Rec, "browser.dns_queries", int64(out.DNSQueries))
+		obs.Count(b.Rec, "browser.requests", 1)
+		if out.NewConnection {
+			obs.Count(b.Rec, "browser.new_conns", 1)
+		}
+		if out.Reused {
+			obs.Count(b.Rec, "browser.reused", 1)
+		}
+		if out.Got421 {
+			obs.Count(b.Rec, "browser.421", 1)
+		}
+		if out.Retries > 0 {
+			obs.Count(b.Rec, "browser.retries", int64(out.Retries))
+		}
+		if out.Err != nil {
+			obs.Count(b.Rec, "browser.failed", 1)
+		}
 	}
 }

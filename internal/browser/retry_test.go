@@ -216,6 +216,118 @@ func TestConnectRetryBudgetExhausted(t *testing.T) {
 	}
 }
 
+// staleOriginRetryEnv is staleOriginEnv with fault hooks: the carrier
+// for www.example advertises api.example in its origin set, the edge
+// refuses api.example on reuse (421), and the fallback connection can
+// be made to fail DNS lookups or connection attempts.
+func staleOriginRetryEnv() *failingEnv {
+	ipA := ip("192.0.2.1")
+	return &failingEnv{fakeEnv: fakeEnv{
+		answers: map[string][]netip.Addr{
+			"www.example": {ipA},
+			"api.example": {ipA, ip("192.0.2.7")},
+		},
+		sans: map[string][]string{
+			"www.example": {"www.example", "api.example"},
+			"api.example": {"www.example", "api.example"},
+		},
+		origins:   map[string][]string{"www.example": {"www.example", "api.example"}},
+		reachable: map[string]bool{"api.example@" + ipA.String(): false},
+	}}
+}
+
+// TestOrigin421FallbackWithConnectRetry combines the two fault paths:
+// a request bounces off a stale origin set with a 421, its fallback
+// connection fails once and succeeds on retry. The per-request DNS
+// tally must stay at one — neither the 421 fallback nor the connect
+// retry may issue a second lookup — or the §4.2 per-page DNS counts
+// double-count every degraded-but-recovered request.
+func TestOrigin421FallbackWithConnectRetry(t *testing.T) {
+	b := New(PolicyFirefoxOrigin)
+	b.MaxRetries = 2
+	b.RetryBackoffMs = 100
+	env := staleOriginRetryEnv()
+	if first := b.Request(env, "www.example"); !first.NewConnection || first.DNSQueries != 1 {
+		t.Fatalf("carrier request: %+v", first)
+	}
+
+	env.connFailures = 1
+	out := b.Request(env, "api.example")
+	if !out.Got421 || !out.NewConnection || out.Err != nil {
+		t.Fatalf("combined 421+retry outcome: %+v", out)
+	}
+	if out.DNSQueries != 1 {
+		t.Errorf("DNSQueries = %d, want 1 (421 fallback and connect retry must reuse the blocking query's answer)", out.DNSQueries)
+	}
+	if out.Retries != 1 || b.TotalRetries != 1 {
+		t.Errorf("retries = %d/%d, want 1/1", out.Retries, b.TotalRetries)
+	}
+	if env.lookups != 2 {
+		t.Errorf("environment saw %d lookups, want 2 (one per request)", env.lookups)
+	}
+	if b.TotalDNS != 2 {
+		t.Errorf("TotalDNS = %d, want 2", b.TotalDNS)
+	}
+	// The retry rotated off the refused address.
+	if n := len(env.connAttempts); n != 3 {
+		t.Fatalf("connection attempts = %d, want 3 (carrier + failed + retried)", n)
+	}
+	if env.connAttempts[1] != ip("192.0.2.1") || env.connAttempts[2] != ip("192.0.2.7") {
+		t.Errorf("fallback attempts did not rotate the answer set: %v", env.connAttempts[1:])
+	}
+	if out.BackoffMs != 100 {
+		t.Errorf("BackoffMs = %v, want 100", out.BackoffMs)
+	}
+}
+
+// TestOrigin421FallbackWithDNSRetry puts the fault before the 421: the
+// blocking origin query fails once and succeeds on retry, then reuse
+// bounces with a 421. The fallback must ride the retried answer — two
+// lookup attempts total for the request, never a third.
+func TestOrigin421FallbackWithDNSRetry(t *testing.T) {
+	b := New(PolicyFirefoxOrigin)
+	b.MaxRetries = 2
+	b.RetryBackoffMs = 100
+	env := staleOriginRetryEnv()
+	b.Request(env, "www.example")
+
+	env.dnsFailures = 1
+	out := b.Request(env, "api.example")
+	if !out.Got421 || !out.NewConnection || out.Err != nil {
+		t.Fatalf("combined DNS-retry+421 outcome: %+v", out)
+	}
+	if out.DNSQueries != 2 {
+		t.Errorf("DNSQueries = %d, want 2 (failed attempt + retried success, no post-421 lookup)", out.DNSQueries)
+	}
+	if out.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", out.Retries)
+	}
+	if env.lookups != 3 {
+		t.Errorf("environment saw %d lookups, want 3", env.lookups)
+	}
+	if b.TotalDNS != 3 || b.TotalDNSFail != 1 {
+		t.Errorf("TotalDNS=%d TotalDNSFail=%d, want 3 and 1", b.TotalDNS, b.TotalDNSFail)
+	}
+}
+
+// TestEmptyAnswerIsAccountedFailure pins the audit fix: a successful
+// DNS response with no addresses must surface as ErrNoAddresses and
+// count toward TotalFailed instead of vanishing silently.
+func TestEmptyAnswerIsAccountedFailure(t *testing.T) {
+	b := New(PolicyFirefox)
+	env := &fakeEnv{answers: map[string][]netip.Addr{}}
+	out := b.Request(env, "missing.example")
+	if !errors.Is(out.Err, ErrNoAddresses) {
+		t.Fatalf("Err = %v, want ErrNoAddresses", out.Err)
+	}
+	if out.NewConnection || out.Reused {
+		t.Fatalf("empty answer produced a connection: %+v", out)
+	}
+	if b.TotalFailed != 1 {
+		t.Errorf("TotalFailed = %d, want 1", b.TotalFailed)
+	}
+}
+
 func TestDropConns(t *testing.T) {
 	b := New(PolicyFirefox)
 	env := retryEnv()

@@ -9,6 +9,7 @@ import (
 	"respectorigin/internal/browser"
 	"respectorigin/internal/faults"
 	"respectorigin/internal/measure"
+	"respectorigin/internal/obs"
 )
 
 // ExperimentConfig parameterizes the §5 deployment experiment.
@@ -72,6 +73,13 @@ type Experiment struct {
 	rng    *rand.Rand
 	connID atomic.Uint64
 	inj    *faults.Injector
+
+	// rec, when set, receives "cdn.*" counters and per-visit trace
+	// spans; visitSeq ranks the spans in visit order. Observation only:
+	// the recorder never touches e.rng or the injector stream, so traced
+	// and untraced runs emit identical log records.
+	rec      obs.Recorder
+	visitSeq atomic.Int64
 
 	// SampleZones are the retained treated zones (after the 22% cut).
 	SampleZones []*Zone
@@ -176,6 +184,44 @@ type connState struct {
 // plan).
 func (e *Experiment) Injector() *faults.Injector { return e.inj }
 
+// SetRecorder installs an observability recorder on the experiment and
+// every visit's browser. A nil recorder (the default) disables all
+// instrumentation.
+func (e *Experiment) SetRecorder(rec obs.Recorder) { e.rec = rec }
+
+// beginVisit opens a trace span for one page view. It returns the
+// span's rank and a closure that stamps the page_end summary once the
+// VisitResult is final; under a nil recorder both are inert and the
+// visit runs exactly as if untraced. The span brackets every event the
+// visit's browser emits: page_start sorts first within the rank
+// (Seq -1) and page_end last (Seq 1<<30), whatever the browser's own
+// sequence numbers reach.
+func (e *Experiment) beginVisit(z *Zone, ua string) (int, func(*VisitResult)) {
+	if e.rec == nil {
+		return 0, func(*VisitResult) {}
+	}
+	rank := int(e.visitSeq.Add(1))
+	obs.Count(e.rec, "cdn.visits", 1)
+	obs.Emit(e.rec, obs.Event{Rank: rank, Seq: -1, Kind: obs.KindPageStart, Host: z.Host, Detail: ua})
+	return rank, func(res *VisitResult) {
+		obs.Count(e.rec, "cdn.third_party_pools", int64(res.ThirdPartyTotal))
+		obs.Count(e.rec, "cdn.new_third_party_conns", int64(res.NewThirdParty))
+		obs.Count(e.rec, "cdn.coalesced_pools", int64(res.CoalescedPools))
+		obs.Count(e.rec, "cdn.failed_requests", int64(res.FailedRequests))
+		obs.Count(e.rec, "cdn.misdirected_421", int64(res.Misdirected421))
+		obs.Count(e.rec, "cdn.retries", int64(res.Retries))
+		obs.Count(e.rec, "cdn.resets", int64(res.Resets))
+		obs.Count(e.rec, "cdn.goaways", int64(res.GoAways))
+		if res.ZoneFailed {
+			obs.Count(e.rec, "cdn.zone_failures", 1)
+		}
+		obs.Emit(e.rec, obs.Event{
+			Rank: rank, Seq: 1 << 30, Kind: obs.KindPageEnd, Host: z.Host, Detail: ua,
+			N: res.ThirdPartyTotal,
+		})
+	}
+}
+
 // Visit simulates one page view of zone by a client with the given
 // user-agent on the given day, emitting sampled log records.
 func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
@@ -183,6 +229,8 @@ func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
 		return e.visitFaulted(z, ua, day)
 	}
 	res := VisitResult{Zone: z.Host, UA: ua}
+	rank, endVisit := e.beginVisit(z, ua)
+	defer func() { endVisit(&res) }()
 	observe := func(r LogRecord) {
 		if day >= 0 { // day < 0: active measurement, not production logs
 			e.CDN.Pipeline().Observe(r)
@@ -201,6 +249,7 @@ func (e *Experiment) Visit(z *Zone, ua string, day int) VisitResult {
 	var b *browser.Browser
 	if h2 {
 		b = browser.New(policy)
+		b.Rec, b.Rank = e.rec, rank
 		b.Request(e.CDN, z.Host)
 	}
 
@@ -276,6 +325,8 @@ func (e *Experiment) observeOutcome(res *VisitResult, conns map[string]*connStat
 // so two runs with the same seeds and plan are byte-identical.
 func (e *Experiment) visitFaulted(z *Zone, ua string, day int) VisitResult {
 	res := VisitResult{Zone: z.Host, UA: ua}
+	rank, endVisit := e.beginVisit(z, ua)
+	defer func() { endVisit(&res) }()
 	observe := func(r LogRecord) {
 		if day >= 0 {
 			e.CDN.Pipeline().Observe(r)
@@ -289,6 +340,7 @@ func (e *Experiment) visitFaulted(z *Zone, ua string, day int) VisitResult {
 	var b *browser.Browser
 	if h2 {
 		b = browser.New(policy)
+		b.Rec, b.Rank = e.rec, rank
 		b.MaxRetries = e.Cfg.FaultRetries
 		b.RetryBackoffMs = 250
 		out := b.Request(env, z.Host)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+
+	"respectorigin/internal/obs"
 )
 
 // A Resolver is a stub resolver over an Authority. It speaks real wire
@@ -16,6 +18,7 @@ type Resolver struct {
 	mu      sync.Mutex
 	nextID  uint16
 	queries int64
+	rec     obs.Recorder
 	// lastAnswers records the most recent address set per hostname, in
 	// answer order. Browser policies read this to build connected-sets
 	// and available-sets (§2.3).
@@ -25,6 +28,14 @@ type Resolver struct {
 // NewResolver returns a stub resolver querying upstream.
 func NewResolver(upstream *Authority) *Resolver {
 	return &Resolver{upstream: upstream, nextID: 1, lastAnswers: make(map[string][]netip.Addr)}
+}
+
+// SetRecorder installs an observability recorder counting the stub
+// resolver's queries and failures ("dns.resolver.*"); nil disables.
+func (r *Resolver) SetRecorder(rec obs.Recorder) {
+	r.mu.Lock()
+	r.rec = rec
+	r.mu.Unlock()
 }
 
 // Queries reports how many DNS queries this resolver has sent.
@@ -57,7 +68,9 @@ func (r *Resolver) lookup(name string, typ uint16) ([]netip.Addr, error) {
 	id := r.nextID
 	r.nextID++
 	r.queries++
+	rec := r.rec
 	r.mu.Unlock()
+	obs.Count(rec, "dns.resolver.queries", 1)
 
 	q := &Message{
 		Header:    Header{ID: id, RD: true},
@@ -79,9 +92,11 @@ func (r *Resolver) lookup(name string, typ uint16) ([]netip.Addr, error) {
 		return nil, fmt.Errorf("dns: response ID %d for query %d", resp.Header.ID, id)
 	}
 	if resp.Header.Rcode == RcodeNameError {
+		obs.Count(rec, "dns.resolver.nxdomain", 1)
 		return nil, &NXDomainError{Name: name}
 	}
 	if resp.Header.Rcode != RcodeSuccess {
+		obs.Count(rec, "dns.resolver.failures", 1)
 		return nil, fmt.Errorf("dns: rcode %d for %s", resp.Header.Rcode, name)
 	}
 	var addrs []netip.Addr

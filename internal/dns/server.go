@@ -3,6 +3,8 @@ package dns
 import (
 	"net/netip"
 	"sync"
+
+	"respectorigin/internal/obs"
 )
 
 // An Authority is an in-process authoritative DNS server over wire-format
@@ -25,6 +27,10 @@ type Authority struct {
 	// injection installs it; it must be deterministic for reproducible
 	// runs.
 	Failure func(name string, typ uint16) uint8
+
+	// rec, when set, receives per-query counters ("dns.authority.*").
+	// Observation only: it never alters resolution or answer bytes.
+	rec obs.Recorder
 
 	queries int64
 }
@@ -81,6 +87,14 @@ func (a *Authority) SetA(name string, addrs ...netip.Addr) {
 	a.AddA(name, addrs...)
 }
 
+// SetRecorder installs an observability recorder on the authority. A
+// nil recorder (the default) disables instrumentation.
+func (a *Authority) SetRecorder(rec obs.Recorder) {
+	a.mu.Lock()
+	a.rec = rec
+	a.mu.Unlock()
+}
+
 // Queries reports how many queries this authority has answered.
 func (a *Authority) Queries() int64 {
 	a.mu.Lock()
@@ -103,7 +117,9 @@ func (a *Authority) HandleWire(query []byte) ([]byte, error) {
 func (a *Authority) Handle(q *Message) *Message {
 	a.mu.Lock()
 	a.queries++
+	rec := a.rec
 	a.mu.Unlock()
+	obs.Count(rec, "dns.authority.queries", 1)
 
 	resp := &Message{Header: Header{
 		ID: q.Header.ID, QR: true, AA: true, RD: q.Header.RD, RA: false,
@@ -118,12 +134,14 @@ func (a *Authority) Handle(q *Message) *Message {
 		if rcode := a.Failure(question.Name, question.Type); rcode != RcodeSuccess {
 			resp.Header.AA = false
 			resp.Header.Rcode = rcode
+			obs.Count(rec, "dns.authority.injected_failures", 1)
 			return resp
 		}
 	}
 	answers, found := a.resolve(question.Name, question.Type, 0)
 	if !found {
 		resp.Header.Rcode = RcodeNameError
+		obs.Count(rec, "dns.authority.nxdomain", 1)
 		return resp
 	}
 	resp.Answers = answers

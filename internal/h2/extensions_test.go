@@ -63,6 +63,7 @@ func TestClientCollectsAltSvc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cc2.Close()
 	deadline := time.After(2 * time.Second)
 	for len(cc2.AltSvcs()) == 0 {
 		select {

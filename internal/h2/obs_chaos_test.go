@@ -1,0 +1,102 @@
+package h2
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"respectorigin/internal/faults"
+	"respectorigin/internal/obs"
+)
+
+// TestChaosRecorderWiring drives several concurrent client/server
+// pairs — one clean, the rest over ChaosConn with reset plans — with a
+// shared Metrics+Trace recorder wired into both halves. Run under
+// -race (the CI observability job does) this checks that recorder
+// callbacks from the server's serve loop, the client's read loop, and
+// request goroutines never race, and that no h2 goroutine outlives its
+// connection when instrumentation is on.
+func TestChaosRecorderWiring(t *testing.T) {
+	metrics := obs.NewMetrics()
+	trace := obs.NewTrace()
+	rec := obs.Multi(metrics, trace)
+
+	const pairs = 6
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			srv := &Server{
+				Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+					_, _ = w.Write([]byte("ok:" + r.Path))
+				}),
+				OriginSet: []string{"a.example", "b.example"},
+				Recorder:  rec,
+			}
+			clientEnd, serverEnd := net.Pipe()
+			done := make(chan error, 1)
+			go func() { done <- srv.ServeConn(serverEnd) }()
+
+			var nc net.Conn = clientEnd
+			if i > 0 {
+				// Per-pair injector: concurrent goroutines must not share
+				// one injector's RNG.
+				inj := faults.NewInjector(faults.Plan{ResetProb: 0.4}, int64(100+i))
+				nc = faults.NewChaosConn(clientEnd, inj)
+			}
+			cc, err := NewClientConn(nc, ClientConnOptions{
+				Origin:      "a.example",
+				ReadTimeout: 2 * time.Second,
+				Recorder:    rec,
+			})
+			if err != nil {
+				_ = serverEnd.Close()
+				<-done
+				return
+			}
+			for j := 0; j < 6; j++ {
+				if _, err := cc.Get("a.example", "/r"); err != nil {
+					break
+				}
+			}
+			_ = cc.Close()
+			_ = serverEnd.Close()
+			<-done
+		}(i)
+	}
+	wg.Wait()
+	assertNoH2Goroutines(t)
+
+	// Connection counters fire before any fault can interfere.
+	if got := metrics.Get("h2.client.conns"); got != pairs {
+		t.Errorf("h2.client.conns = %d, want %d", got, pairs)
+	}
+	if got := metrics.Get("h2.server.conns"); got != pairs {
+		t.Errorf("h2.server.conns = %d, want %d", got, pairs)
+	}
+	// The clean pair guarantees at least one full request cycle and one
+	// ORIGIN frame in each direction, whatever the chaos pairs suffered.
+	if metrics.Get("h2.client.streams") == 0 || metrics.Get("h2.server.streams") == 0 {
+		t.Errorf("no streams recorded: client=%d server=%d",
+			metrics.Get("h2.client.streams"), metrics.Get("h2.server.streams"))
+	}
+	if metrics.Get("h2.server.origin_frames_sent") == 0 {
+		t.Error("no ORIGIN frames recorded despite a configured origin set")
+	}
+	if metrics.Get("h2.client.origin_frames") == 0 {
+		t.Error("client recorded no ORIGIN frame receipts")
+	}
+	if trace.Len() == 0 {
+		t.Error("trace recorded no events")
+	}
+	// The trace must serialize cleanly even with interleaved emitters.
+	evs := trace.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Rank < evs[i-1].Rank ||
+			(evs[i].Rank == evs[i-1].Rank && evs[i].Seq < evs[i-1].Seq) {
+			t.Fatalf("events out of (rank, seq) order at %d: %+v then %+v", i, evs[i-1], evs[i])
+		}
+	}
+}

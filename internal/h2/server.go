@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"respectorigin/internal/hpack"
+	"respectorigin/internal/obs"
 )
 
 // A Request is a fully received HTTP/2 request.
@@ -94,6 +95,11 @@ type Server struct {
 	// WriteTimeout bounds each flush of the write queue toward a client
 	// that stopped reading. Zero disables.
 	WriteTimeout time.Duration
+
+	// Recorder, when non-nil, receives "h2.server.*" counters and
+	// connection-level trace events (origin frames sent, GOAWAYs, 421s).
+	// Observation only; a nil recorder changes nothing.
+	Recorder obs.Recorder
 }
 
 // ConnCounters aggregates per-connection observability counters.
@@ -144,6 +150,7 @@ func (s *Server) ServeConnGraceful(nc net.Conn) (stop func(), done <-chan error)
 }
 
 func (s *Server) serveConn(nc net.Conn, stopCh <-chan struct{}) (*serverConn, error) {
+	obs.Count(s.Recorder, "h2.server.conns", 1)
 	aw := newAsyncWriter(nc)
 	defer aw.Close()
 	sc := &serverConn{
@@ -177,6 +184,13 @@ func (s *Server) serveConn(nc net.Conn, stopCh <-chan struct{}) (*serverConn, er
 	if s.CountersFor != nil {
 		s.CountersFor(sc.counters)
 	}
+	if s.Recorder != nil {
+		obs.Count(s.Recorder, "h2.server.streams", int64(sc.counters.StreamsOpened))
+		obs.Count(s.Recorder, "h2.server.frames_read", int64(sc.counters.FramesRead))
+		obs.Count(s.Recorder, "h2.server.frames_written", int64(sc.counters.FramesWritten))
+		obs.Count(s.Recorder, "h2.server.bytes_read", sc.counters.BytesRead)
+		obs.Count(s.Recorder, "h2.server.misdirected_421", int64(sc.counters.Misdirected))
+	}
 	return sc, err
 }
 
@@ -194,6 +208,8 @@ func (sc *serverConn) beginDrain() {
 	active := sc.activeStreams
 	sc.mu.Unlock()
 	_ = sc.fr.WriteGoAway(last, ErrCodeNo, []byte("graceful shutdown"))
+	obs.Count(sc.srv.Recorder, "h2.server.goaway_sent", 1)
+	obs.Emit(sc.srv.Recorder, obs.Event{Kind: obs.KindGoAway, N: int(last), Detail: "graceful shutdown"})
 	if active == 0 {
 		sc.shutdownTransport()
 	}
@@ -270,6 +286,8 @@ func (sc *serverConn) serve() error {
 			return err
 		}
 		sc.counters.OriginAdvertised = true
+		obs.Count(sc.srv.Recorder, "h2.server.origin_frames_sent", 1)
+		obs.Emit(sc.srv.Recorder, obs.Event{Kind: obs.KindOriginFrame, N: len(canon), Detail: "sent"})
 	}
 
 	for {
@@ -553,6 +571,7 @@ func (sc *serverConn) startHandler(st *serverStream) {
 			sc.mu.Lock()
 			sc.counters.Misdirected++
 			sc.mu.Unlock()
+			obs.Emit(sc.srv.Recorder, obs.Event{Kind: obs.KindMisdirected, Host: st.req.Authority})
 			w.WriteHeader(421)
 			return
 		}

@@ -121,16 +121,17 @@ func CDF(xs []float64) []CDFPoint {
 	return pts
 }
 
-// CDFAt evaluates an empirical CDF at x.
+// CDFAt evaluates an empirical CDF at x in O(log n): the points are
+// sorted by X (the CDF invariant), so the answer is the P of the last
+// point with X ≤ x, found by binary search. Report passes evaluate
+// CDFs once per rank over the whole corpus, so the former linear scan
+// made those passes O(n²) in the number of distinct values.
 func CDFAt(pts []CDFPoint, x float64) float64 {
-	p := 0.0
-	for _, pt := range pts {
-		if pt.X > x {
-			break
-		}
-		p = pt.P
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X > x })
+	if i == 0 {
+		return 0
 	}
-	return p
+	return pts[i-1].P
 }
 
 // Histogram counts samples per integer value.
@@ -223,14 +224,24 @@ func (c *Counter) Top(n int) []RankedEntry {
 	return entries
 }
 
-// TableString renders the top-n entries as an aligned text table.
+// TableString renders the top-n entries as an aligned text table. An
+// empty counter renders as the bare title (no bogus 0.00% cumulative
+// row), and the cumulative share is clamped to 100% so float rounding
+// across many rows can never report more than the whole.
 func (c *Counter) TableString(title string, n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
+	rows := c.Top(n)
+	if len(rows) == 0 {
+		return b.String()
+	}
 	cum := 0.0
-	for i, e := range c.Top(n) {
+	for i, e := range rows {
 		cum += e.Share
 		fmt.Fprintf(&b, "%3d  %-42s %12d  %6.2f%%\n", i+1, e.Key, e.Count, e.Share)
+	}
+	if cum > 100 {
+		cum = 100
 	}
 	fmt.Fprintf(&b, "     %-42s %12s  %6.2f%% (cumulative)\n", "", "", cum)
 	return b.String()

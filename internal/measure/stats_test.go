@@ -1,8 +1,10 @@
 package measure
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -114,6 +116,90 @@ func TestCDFIsMonotone(t *testing.T) {
 	}
 }
 
+// cdfAtLinear is the pre-optimization reference implementation.
+func cdfAtLinear(pts []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range pts {
+		if pt.X > x {
+			break
+		}
+		p = pt.P
+	}
+	return p
+}
+
+// TestCDFAtProperties pins the sort.Search rewrite of CDFAt against the
+// CDF invariants: the CDF evaluates to exactly 1 at (and beyond) the
+// sample maximum, to 0 below the minimum, and is monotone in x.
+func TestCDFAtProperties(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CDF(xs)
+		max := xs[0]
+		min := xs[0]
+		for _, v := range xs {
+			if v > max {
+				max = v
+			}
+			if v < min {
+				min = v
+			}
+		}
+		if CDFAt(pts, max) != 1.0 {
+			return false
+		}
+		if min > math.Inf(-1) && CDFAt(pts, math.Nextafter(min, math.Inf(-1))) != 0 {
+			return false
+		}
+		// Monotone: CDFAt(x1) ≤ CDFAt(x2) for x1 ≤ x2.
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return CDFAt(pts, a) <= CDFAt(pts, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDFAtMatchesLinearScan checks the binary search against the old
+// linear scan on arbitrary inputs, including between-point and
+// out-of-range evaluation.
+func TestCDFAtMatchesLinearScan(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		pts := CDF(xs)
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			if CDFAt(pts, x) != cdfAtLinear(pts, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := Histogram([]int{1, 1, 2, 5})
 	if h[1] != 2 || h[2] != 1 || h[5] != 1 || len(h) != 3 {
@@ -157,6 +243,45 @@ func TestCounterTieBreak(t *testing.T) {
 	top := c.Top(0)
 	if top[0].Key != "a" || top[1].Key != "b" {
 		t.Errorf("tie break = %v", top)
+	}
+}
+
+// TestTableStringEmptyCounter pins the empty-counter rendering: just
+// the title, no phantom 0.00% cumulative row.
+func TestTableStringEmptyCounter(t *testing.T) {
+	c := NewCounter()
+	got := c.TableString("Table X: nothing", 5)
+	if got != "Table X: nothing\n" {
+		t.Errorf("empty counter table = %q", got)
+	}
+	if strings.Contains(got, "cumulative") {
+		t.Error("empty counter printed a cumulative row")
+	}
+}
+
+// TestTableStringCumulativeClamp forces per-row shares whose displayed
+// sum exceeds 100% and checks the cumulative row is clamped.
+func TestTableStringCumulativeClamp(t *testing.T) {
+	c := NewCounter()
+	// 3 × 1/3: each share is 33.333…%, summing to 100.000…01% in
+	// float arithmetic on some n; use many keys to force drift upward.
+	for i := 0; i < 7; i++ {
+		c.Add(string(rune('a'+i)), 1)
+	}
+	s := c.TableString("clamp", 0)
+	var cum float64
+	if _, err := fmt.Sscanf(s[strings.LastIndex(s, "  ")-8:], "%f%% (cumulative)", &cum); err == nil {
+		if cum > 100 {
+			t.Errorf("cumulative share %v exceeds 100%%", cum)
+		}
+	}
+	// Direct check: the rendered cumulative never exceeds "100.00%".
+	if strings.Contains(s, "100.01") || strings.Contains(s, "100.1") {
+		t.Errorf("cumulative row over 100%%:\n%s", s)
+	}
+	// And a non-empty counter still has its cumulative row.
+	if !strings.Contains(s, "cumulative") {
+		t.Error("cumulative row missing for non-empty counter")
 	}
 }
 

@@ -11,6 +11,8 @@ package netsim
 import (
 	"math/rand"
 	"sync"
+
+	"respectorigin/internal/obs"
 )
 
 // Params configures the latency model.
@@ -84,6 +86,18 @@ type Network struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+	rec obs.Recorder
+}
+
+// SetRecorder installs an observability recorder: every generated phase
+// duration is also recorded into a latency histogram ("netsim.dns_ms",
+// "netsim.connect_ms", "netsim.tls_ms", "netsim.wait_ms",
+// "netsim.transfer_ms"). A nil recorder (the default) disables
+// instrumentation; the RNG stream is never touched either way.
+func (n *Network) SetRecorder(rec obs.Recorder) {
+	n.mu.Lock()
+	n.rec = rec
+	n.mu.Unlock()
 }
 
 // New returns a deterministic network for the given seed.
@@ -101,15 +115,21 @@ func (n *Network) jitter() float64 {
 // DNSTime returns the duration of one DNS lookup.
 func (n *Network) DNSTime() float64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.P.DNSMs*n.P.scale() + n.jitter()
+	d := n.P.DNSMs*n.P.scale() + n.jitter()
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.dns_ms", d)
+	return d
 }
 
 // ConnectTime returns the TCP handshake duration (one RTT).
 func (n *Network) ConnectTime() float64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.P.RTTMs*n.P.scale() + n.jitter()
+	d := n.P.RTTMs*n.P.scale() + n.jitter()
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.connect_ms", d)
+	return d
 }
 
 // TLSTime returns the TLS handshake duration for a certificate chain
@@ -122,15 +142,20 @@ func (n *Network) TLSTime(sanCount, tlsRecords int) float64 {
 	if tlsRecords > 1 {
 		rtts += float64(tlsRecords - 1)
 	}
-	return (rtts*n.P.RTTMs+n.P.CertVerifyMs+
+	d := (rtts*n.P.RTTMs+n.P.CertVerifyMs+
 		float64(sanCount)*n.P.ExtraCertVerifyPerSANMs)*n.P.scale() + n.jitter()
+	obs.Observe(n.rec, "netsim.tls_ms", d)
+	return d
 }
 
 // WaitTime returns time-to-first-byte after the request is sent.
 func (n *Network) WaitTime() float64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return (n.P.ServerThinkMs+n.P.RTTMs/2)*n.P.scale() + n.jitter()
+	d := (n.P.ServerThinkMs+n.P.RTTMs/2)*n.P.scale() + n.jitter()
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.wait_ms", d)
+	return d
 }
 
 // TransferTime returns the receive duration for a body of size bytes.
@@ -140,7 +165,9 @@ func (n *Network) TransferTime(bytes int64) float64 {
 	if n.P.BandwidthKBps <= 0 {
 		return 0
 	}
-	return float64(bytes)/n.P.BandwidthKBps*n.P.scale() + n.jitter()/4
+	d := float64(bytes)/n.P.BandwidthKBps*n.P.scale() + n.jitter()/4
+	obs.Observe(n.rec, "netsim.transfer_ms", d)
+	return d
 }
 
 // RaceEffects reports the client race behaviours for one fresh

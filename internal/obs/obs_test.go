@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderHelpers(t *testing.T) {
+	// The no-op fast path must tolerate a nil Recorder everywhere.
+	Count(nil, "x", 1)
+	Observe(nil, "h", 3.5)
+	Emit(nil, Event{Kind: KindDNSQuery})
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Count("a", 2)
+	m.Count("a", 3)
+	m.Count("b", 1)
+	if m.Get("a") != 5 || m.Get("b") != 1 || m.Get("absent") != 0 {
+		t.Errorf("counters: a=%d b=%d absent=%d", m.Get("a"), m.Get("b"), m.Get("absent"))
+	}
+	snap := m.Counters()
+	if snap["a"] != 5 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestMetricsEventCountsByKind(t *testing.T) {
+	m := NewMetrics()
+	m.Event(Event{Kind: KindCoalesceHit})
+	m.Event(Event{Kind: KindCoalesceHit})
+	m.Event(Event{Kind: KindMisdirected})
+	if m.Get("events."+KindCoalesceHit) != 2 || m.Get("events."+KindMisdirected) != 1 {
+		t.Errorf("event counters wrong: %v", m.Counters())
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Observe("lat", float64(i))
+	}
+	s := m.HistSummary("lat")
+	if s.N != 100 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Bucket-interpolated quantiles are estimates; at 100 uniform
+	// samples over power-of-two buckets they must land within a bucket
+	// width of the truth.
+	if s.Median < 25 || s.Median > 75 {
+		t.Errorf("p50 = %v, want within [25, 75]", s.Median)
+	}
+	if s.P99 < s.Median || s.P99 > 100 {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Median > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", s.Median, s.P90, s.P99)
+	}
+}
+
+func TestHistEmptyAndOverflow(t *testing.T) {
+	m := NewMetrics()
+	if s := m.HistSummary("absent"); s.N != 0 {
+		t.Errorf("absent hist summary = %+v", s)
+	}
+	m.Observe("big", 1e9) // beyond the last bucket bound
+	s := m.HistSummary("big")
+	if s.N != 1 || s.Max != 1e9 || s.Median != 1e9 {
+		t.Errorf("overflow summary = %+v", s)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Count("c", 1)
+				m.Observe("h", float64(i%37))
+				m.Event(Event{Kind: KindDNSQuery})
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Get("c") != 8000 {
+		t.Errorf("c = %d, want 8000", m.Get("c"))
+	}
+	if s := m.HistSummary("h"); s.N != 8000 {
+		t.Errorf("hist n = %d, want 8000", s.N)
+	}
+	if m.Get("events."+KindDNSQuery) != 8000 {
+		t.Errorf("event counter = %d", m.Get("events."+KindDNSQuery))
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := NewMetrics()
+	m.Count("z.last", 1)
+	m.Count("a.first", 2)
+	m.Observe("lat", 10)
+	s := m.String()
+	if !strings.Contains(s, "a.first") || !strings.Contains(s, "z.last") || !strings.Contains(s, "lat") {
+		t.Errorf("render missing names:\n%s", s)
+	}
+	if strings.Index(s, "a.first") > strings.Index(s, "z.last") {
+		t.Error("counters not sorted")
+	}
+}
+
+func TestTraceDeterministicOrder(t *testing.T) {
+	// Append events from concurrent goroutines in arbitrary order; the
+	// serialized stream must sort by (rank, seq).
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for rank := 5; rank >= 1; rank-- {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for seq := 3; seq >= 0; seq-- {
+				tr.Event(Event{Rank: rank, Seq: seq, Kind: KindDNSQuery, Host: "h"})
+			}
+		}(rank)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 20 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Seq >= b.Seq) {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceNDJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(Event{Rank: 2, Seq: 0, Kind: KindPageStart, Host: "b.example"})
+	tr.Event(Event{Rank: 1, Seq: 1, Kind: KindTLSHandshake, Host: "a.example", MS: 182.5})
+	tr.Event(Event{Rank: 1, Seq: 0, Kind: KindPageStart, Host: "a.example"})
+	tr.Event(Event{Rank: 1, Seq: 2, Kind: KindPageEnd, Host: "a.example", DNS: 3, TLS: 2, IdealIP: 2, IdealOrigin: 1})
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost events: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Kind != KindPageStart || got[0].Rank != 1 {
+		t.Errorf("first event = %+v", got[0])
+	}
+	if got[2].DNS != 3 || got[2].IdealOrigin != 1 {
+		t.Errorf("page_end summary lost: %+v", got[2])
+	}
+}
+
+func TestTraceWriteIsStable(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 50; i++ {
+		tr.Event(Event{Rank: 50 - i, Seq: i % 3, Kind: KindDNSQuery})
+	}
+	var a, b bytes.Buffer
+	if err := tr.WriteNDJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two serializations of the same trace differ")
+	}
+}
+
+func TestReadNDJSONBadLine(t *testing.T) {
+	if _, err := ReadNDJSON(strings.NewReader("{\"rank\":1}\nnot json\n")); err == nil {
+		t.Error("malformed line not rejected")
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	m := NewMetrics()
+	tr := NewTrace()
+	r := Multi(nil, m, nil, tr)
+	r.Count("x", 4)
+	r.Observe("h", 2)
+	r.Event(Event{Rank: 1, Kind: KindGoAway})
+	if m.Get("x") != 4 || m.Get("events."+KindGoAway) != 1 {
+		t.Error("metrics member missed calls")
+	}
+	if tr.Len() != 1 {
+		t.Error("trace member missed event")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils must be nil")
+	}
+	if Multi(m) != Recorder(m) {
+		t.Error("Multi of one must unwrap")
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	m := NewMetrics()
+	m.Count("reqs", 7)
+	m.Observe("lat", 5)
+	m.PublishExpvar("obs_test_metrics")
+	m.PublishExpvar("obs_test_metrics") // second publish must not panic
+	v := expvar.Get("obs_test_metrics")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	if !strings.Contains(v.String(), "\"reqs\"") || !strings.Contains(v.String(), "\"lat\"") {
+		t.Errorf("expvar payload = %s", v.String())
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Trace is an append-only event recorder. Appends are cheap and
+// concurrent; ordering is imposed only at serialization time, where
+// events sort by (Rank, Seq) — the deterministic coordinates assigned
+// by the emitting layer — so the NDJSON output of a sharded run is byte
+// identical to a sequential one.
+type Trace struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// NewTrace returns an empty trace recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+var _ Recorder = (*Trace)(nil)
+
+// Count implements Recorder as a no-op (traces hold events only).
+func (t *Trace) Count(name string, delta int64) {}
+
+// Observe implements Recorder as a no-op.
+func (t *Trace) Observe(hist string, ms float64) {}
+
+// Event implements Recorder.
+func (t *Trace) Event(ev Event) {
+	t.mu.Lock()
+	t.evs = append(t.evs, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// Events returns the events sorted by (Rank, Seq). The result is a
+// copy; the trace keeps accepting appends.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	out := append([]Event(nil), t.evs...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// WriteNDJSON serializes the trace as rank-ordered newline-delimited
+// JSON, one event per line.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses an event stream written by WriteNDJSON (or any
+// NDJSON file of Event objects). Blank lines are skipped.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

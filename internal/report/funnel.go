@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"respectorigin/internal/measure"
+	"respectorigin/internal/obs"
+)
+
+// Funnel aggregates a trace's events into the coalescing funnel: how
+// many connection setups a crawl or deployment run paid, how many
+// requests rode existing connections, and how often coalescing was
+// refused (421) or retried. Crawl traces additionally carry the §4.2
+// model counts on their page_end events, which the funnel sums so its
+// totals can be cross-checked against the Figure 3 inputs exactly.
+type Funnel struct {
+	Pages          int // page_start events (one per traced page load)
+	DNSQueries     int
+	DNSFailures    int
+	TLSHandshakes  int
+	ConnectFails   int
+	StreamsOpened  int
+	OriginFrames   int
+	CoalesceHits   int
+	Misdirected421 int
+	Retries        int
+	GoAways        int
+	Resets         int
+
+	// Sums of the §4.2 per-page summaries carried by page_end events;
+	// SummaryPages counts how many page_end events carried one (zero
+	// for deployment traces, which have no reconstruction model).
+	SummaryPages int
+	MeasuredDNS  int
+	MeasuredTLS  int
+	IdealIP      int
+	IdealOrigin  int
+}
+
+// FunnelFromEvents folds a stream of trace events into a Funnel. Order
+// does not matter; the fold is a pure sum, so shard traces can be
+// concatenated in any order and funnel identically.
+func FunnelFromEvents(evs []obs.Event) Funnel {
+	var f Funnel
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.KindPageStart:
+			f.Pages++
+		case obs.KindDNSQuery:
+			f.DNSQueries++
+		case obs.KindDNSFail:
+			f.DNSFailures++
+		case obs.KindTLSHandshake:
+			f.TLSHandshakes++
+		case obs.KindConnectFail:
+			f.ConnectFails++
+		case obs.KindStreamOpen:
+			f.StreamsOpened++
+		case obs.KindOriginFrame:
+			f.OriginFrames++
+		case obs.KindCoalesceHit:
+			f.CoalesceHits++
+		case obs.KindMisdirected:
+			f.Misdirected421++
+		case obs.KindRetry:
+			f.Retries++
+		case obs.KindGoAway:
+			f.GoAways++
+		case obs.KindReset:
+			f.Resets++
+		case obs.KindPageEnd:
+			if ev.DNS != 0 || ev.TLS != 0 || ev.IdealIP != 0 || ev.IdealOrigin != 0 {
+				f.SummaryPages++
+				f.MeasuredDNS += ev.DNS
+				f.MeasuredTLS += ev.TLS
+				f.IdealIP += ev.IdealIP
+				f.IdealOrigin += ev.IdealOrigin
+			}
+		}
+	}
+	return f
+}
+
+// TableString renders the funnel. The model cross-check section only
+// appears when the trace carried page_end summaries.
+func (f Funnel) TableString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coalescing funnel: %d traced page loads\n", f.Pages)
+	row := func(name string, n int) {
+		fmt.Fprintf(&b, "  %-28s %8d\n", name, n)
+	}
+	row("DNS queries", f.DNSQueries)
+	row("DNS failures", f.DNSFailures)
+	row("TLS handshakes", f.TLSHandshakes)
+	row("connect failures", f.ConnectFails)
+	row("coalesce hits (reuse)", f.CoalesceHits)
+	row("421 fallbacks", f.Misdirected421)
+	row("retries", f.Retries)
+	if f.StreamsOpened > 0 || f.OriginFrames > 0 {
+		row("H2 streams opened", f.StreamsOpened)
+		row("ORIGIN frames", f.OriginFrames)
+	}
+	if f.GoAways > 0 || f.Resets > 0 {
+		row("GOAWAY drains", f.GoAways)
+		row("TCP resets", f.Resets)
+	}
+	if f.SummaryPages > 0 {
+		fmt.Fprintf(&b, "Model cross-check (%d pages with §4.2 summaries):\n", f.SummaryPages)
+		fmt.Fprintf(&b, "  DNS:  measured %d -> ideal ORIGIN %d  (saved %d, -%.1f%%)\n",
+			f.MeasuredDNS, f.IdealOrigin, f.MeasuredDNS-f.IdealOrigin,
+			measure.ReductionPct(float64(f.MeasuredDNS), float64(f.IdealOrigin)))
+		fmt.Fprintf(&b, "  TLS:  measured %d -> ideal IP %d (-%.1f%%) -> ideal ORIGIN %d (-%.1f%%)\n",
+			f.MeasuredTLS,
+			f.IdealIP, measure.ReductionPct(float64(f.MeasuredTLS), float64(f.IdealIP)),
+			f.IdealOrigin, measure.ReductionPct(float64(f.MeasuredTLS), float64(f.IdealOrigin)))
+	}
+	return b.String()
+}
