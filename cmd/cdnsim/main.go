@@ -25,11 +25,22 @@ import (
 
 	_ "net/http/pprof"
 
+	"respectorigin/internal/cache"
 	"respectorigin/internal/cdn"
+	"respectorigin/internal/core"
 	"respectorigin/internal/faults"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 )
+
+// cacheOptions maps the warm-path flag values onto cache.Options.
+func cacheOptions(ticketLifetimeSeconds int) cache.Options {
+	opts := cache.Options{TicketLifetimeSeconds: ticketLifetimeSeconds}
+	if ticketLifetimeSeconds == 0 {
+		opts.TicketLifetimeSeconds = cache.TicketsDisabled
+	}
+	return opts
+}
 
 func main() {
 	sample := flag.Int("sample", 5000, "candidate sample domains (paper: 5000)")
@@ -41,6 +52,9 @@ func main() {
 	sweep := flag.Bool("faultsweep", false, "run the Figure 8 fault sweep (reset rates 0/1/5%) and exit")
 	traceOut := flag.String("trace", "", "write per-visit trace events as NDJSON to this file (- for stdout)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run")
+	cacheOn := flag.Bool("cache", false, "enable the warm-path client cache and print the warm/cold savings table")
+	revisits := flag.Int("revisits", 1, "visits per zone in the warm/cold measurement (with -cache)")
+	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
 	flag.Parse()
 
 	plan, err := faults.ParsePlan(*faultSpec)
@@ -54,8 +68,6 @@ func main() {
 		fmt.Println(report.FaultSweep(*sample, *seed, *days, start, end, []float64{0, 1, 5}))
 		return
 	}
-
-	d := report.NewDeploymentWithFaults(*sample, *seed, plan, *retries)
 
 	var trace *obs.Trace
 	var recs []obs.Recorder
@@ -73,9 +85,16 @@ func main() {
 			}
 		}()
 	}
-	if len(recs) > 0 {
-		d.Exp.SetRecorder(obs.Multi(recs...))
+
+	sessOpts := []core.SessionOption{
+		core.WithRecorder(obs.Multi(recs...)),
+		core.WithFaults(plan, *retries),
 	}
+	if *cacheOn {
+		sessOpts = append(sessOpts, core.WithCache(cacheOptions(*ticketLife)))
+	}
+	sess := core.NewSession(*seed, sessOpts...)
+	d := report.NewDeploymentSession(*sample, sess)
 
 	fmt.Println(d.Figure6())
 
@@ -106,6 +125,12 @@ func main() {
 	}
 	if !plan.Zero() {
 		fmt.Println(d.FaultReport())
+	}
+	if *cacheOn {
+		// Runs last: the warm/cold pass touches neither the pipeline
+		// nor the experiment RNG, so earlier output is unaffected.
+		costs := d.WarmCold(*revisits, sess.CacheOpts)
+		fmt.Println(report.SavingsTable(costs, "deployment sample, IP phase"))
 	}
 	if trace != nil {
 		w := os.Stdout

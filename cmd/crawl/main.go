@@ -19,9 +19,11 @@ import (
 	"os"
 	"runtime"
 
+	"respectorigin/internal/cache"
 	"respectorigin/internal/core"
 	"respectorigin/internal/har"
 	"respectorigin/internal/obs"
+	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
 )
 
@@ -31,7 +33,15 @@ func main() {
 	out := flag.String("out", "dataset.ndjson", "output file (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "generation worker goroutines")
 	traceOut := flag.String("trace", "", "write per-page-load trace events as NDJSON to this file")
+	cacheOn := flag.Bool("cache", false, "replay each page against a warm-path cache and print the savings table to stderr")
+	revisits := flag.Int("revisits", 1, "visits per page in the warm/cold replay (with -cache)")
+	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
 	flag.Parse()
+
+	cacheOpts := cache.Options{TicketLifetimeSeconds: *ticketLife}
+	if *ticketLife == 0 {
+		cacheOpts.TicketLifetimeSeconds = cache.TicketsDisabled
+	}
 
 	cfg := webgen.DefaultConfig()
 	cfg.Sites = *sites
@@ -59,6 +69,20 @@ func main() {
 			return sw.Write(p)
 		}
 	}
+	var warmCosts []core.VisitCosts
+	if *cacheOn {
+		// Fold each page's warm/cold replay as it streams past; ledger
+		// addition is order-independent, so the totals match a batch
+		// pass regardless of shard completion order.
+		warmCosts = make([]core.VisitCosts, *revisits)
+		inner := emit
+		emit = func(p *har.Page) error {
+			for v, vc := range core.WarmReplaySequence(p, *revisits, cacheOpts) {
+				warmCosts[v].Add(vc)
+			}
+			return inner(p)
+		}
+	}
 	res, err := webgen.GenerateStream(cfg, emit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
@@ -70,6 +94,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d successful page loads (%d failures) -> %s\n",
 		res.Pages, res.Failures, *out)
+	if *cacheOn {
+		fmt.Fprint(os.Stderr, report.SavingsTable(warmCosts, "crawl corpus"))
+	}
 	if trace != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"respectorigin/internal/asn"
+	"respectorigin/internal/cache"
 	"respectorigin/internal/har"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
@@ -36,6 +37,9 @@ func main() {
 	schedOnly := flag.Bool("scheduling", false, "print only the §6.1 delivery-ordering comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for generation and analysis")
 	funnelFile := flag.String("funnel", "", "print the coalescing funnel of this NDJSON trace (crawl/cdnsim -trace output) and exit")
+	cacheOn := flag.Bool("cache", false, "print the warm-path cache warm/cold savings table and exit")
+	revisits := flag.Int("revisits", 2, "visits per page in the warm/cold replay (with -cache)")
+	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
 	flag.Parse()
 
 	if *funnelFile != "" {
@@ -109,6 +113,15 @@ func main() {
 		}
 	}
 	c := report.NewCorpusWorkers(ds, *workers)
+
+	if *cacheOn {
+		opts := cache.Options{TicketLifetimeSeconds: *ticketLife}
+		if *ticketLife == 0 {
+			opts.TicketLifetimeSeconds = cache.TicketsDisabled
+		}
+		fmt.Print(report.SavingsTable(c.WarmCold(*revisits, opts), "corpus"))
+		return
+	}
 
 	tables := map[int]func() string{
 		1: func() string { _, s := c.Table1(5); return s },

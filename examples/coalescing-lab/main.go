@@ -27,7 +27,17 @@ type labEnv struct {
 	serves   map[string]map[netip.Addr]bool
 }
 
-func (l *labEnv) Lookup(host string) ([]netip.Addr, error) { return l.resolver.LookupA(host) }
+func (l *labEnv) Lookup(host string) ([]netip.Addr, error) {
+	res, err := l.resolver.Lookup(host, dns.TypeA)
+	return res.Addrs, err
+}
+
+// LookupTTL exposes the unified surface's TTL so cache-carrying
+// browsers (browser.WithCache) can honor the authority's budgets.
+func (l *labEnv) LookupTTL(host string) ([]netip.Addr, uint32, error) {
+	res, err := l.resolver.Lookup(host, dns.TypeA)
+	return res.Addrs, res.TTL, err
+}
 func (l *labEnv) CertSANs(host string, ip netip.Addr) []string {
 	return l.sans[host]
 }

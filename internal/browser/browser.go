@@ -22,6 +22,7 @@ import (
 	"errors"
 	"net/netip"
 
+	"respectorigin/internal/cache"
 	"respectorigin/internal/obs"
 )
 
@@ -31,6 +32,11 @@ import (
 // reuse, and a nil Err, silently vanishing from the per-page failure
 // tally (TotalFailed).
 var ErrNoAddresses = errors.New("browser: DNS answer contained no addresses")
+
+// ErrNegativeCache reports a lookup answered by the warm-path negative
+// DNS cache: the name failed recently and the cached failure is served
+// without querying the authority again.
+var ErrNegativeCache = errors.New("browser: cached DNS failure (negative cache)")
 
 // Policy selects a coalescing behaviour.
 type Policy int
@@ -84,6 +90,16 @@ type Environment interface {
 // Environments without the extension connect unconditionally.
 type ConnectFailer interface {
 	ConnectFail(host string, ip netip.Addr) error
+}
+
+// TTLLookuper is an optional Environment extension exposing the
+// answer's TTL budget alongside its address set, so a cache-carrying
+// browser can honor per-name TTLs sourced from the authority. A
+// browser only calls it when a cache is installed; environments
+// without the extension fall back to Lookup and the cache's default
+// TTL.
+type TTLLookuper interface {
+	LookupTTL(host string) (addrs []netip.Addr, ttlSeconds uint32, err error)
 }
 
 // Conn is a pooled connection.
@@ -149,6 +165,16 @@ type Outcome struct {
 	BackoffMs     float64 // modelled backoff delay accumulated before retries
 	FailedConnect bool    // at least one connection attempt failed
 	Err           error
+
+	// Warm-path accounting, only ever set when a cache is installed.
+	// ResumedTLS is accounted separately from Reused: a resumed
+	// handshake still opens a new connection (NewConnection is true),
+	// it just skips the full handshake and certificate validation,
+	// whereas Reused skips the connection entirely (coalescing).
+	DNSCacheHits int  // lookups served from the positive DNS cache
+	NegCacheHit  bool // lookup answered by the negative DNS cache
+	ResumedTLS   bool // new connection established via ticket resumption
+	CertMemoHit  bool // full handshake, but chain validation memoized
 }
 
 // Coalesced reports whether the request rode a connection opened for a
@@ -184,6 +210,16 @@ type Browser struct {
 	Rec  obs.Recorder
 	Rank int
 
+	// Cache, when non-nil, is the warm-path state consulted before the
+	// environment: the DNS answer cache short-circuits lookups, the
+	// ticket store resumes handshakes across hostnames the certificate
+	// covers, and the chain memo skips repeat validations. nil (the
+	// default) disables every warm path and leaves behaviour — and
+	// every output byte — identical to a cache-free build. Reset does
+	// NOT clear it: the cache models client state that survives across
+	// browsing sessions.
+	Cache *cache.Cache
+
 	seq   int
 	conns []*Conn
 
@@ -193,6 +229,13 @@ type Browser struct {
 	Total421     int
 	TotalReused  int
 
+	// Warm-path totals (all zero when Cache is nil).
+	TotalDNSCacheHits int // lookups served from the positive DNS cache
+	TotalNegCacheHits int // lookups answered by the negative DNS cache
+	TotalResumed      int // connections established via ticket resumption
+	TotalCertMemoHits int // chain validations skipped via the memo
+	TotalValidations  int // full certificate-chain validations performed
+
 	// Per-outcome failure accounting.
 	TotalRetries   int
 	TotalBackoffMs float64
@@ -201,8 +244,17 @@ type Browser struct {
 	TotalFailed    int // requests that exhausted their retry budget
 }
 
-// New returns a Browser with the given policy.
-func New(p Policy) *Browser { return &Browser{Policy: p} }
+// New returns a Browser with the given policy, configured by functional
+// options. Calling New(p) with no options is byte-for-byte equivalent to
+// the historical field-poking construction, so existing callers keep
+// their behaviour.
+func New(p Policy, opts ...Option) *Browser {
+	b := &Browser{Policy: p}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
 
 // Conns returns the current connection pool.
 func (b *Browser) Conns() []*Conn { return b.conns }
@@ -220,6 +272,11 @@ func (b *Browser) Reset() {
 	b.TotalDNSFail = 0
 	b.TotalConnFail = 0
 	b.TotalFailed = 0
+	b.TotalDNSCacheHits = 0
+	b.TotalNegCacheHits = 0
+	b.TotalResumed = 0
+	b.TotalCertMemoHits = 0
+	b.TotalValidations = 0
 }
 
 // DropConns removes every pooled connection opened for host (the pool's
@@ -375,21 +432,64 @@ func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
 // exponential-backoff accounting. Every attempt is a real query and
 // counts toward DNSQueries; empty-but-successful answers are not
 // faults and are returned as-is.
+//
+// When a cache is installed it is consulted first: a positive hit
+// serves the cached answer without touching the environment (no DNS
+// query is issued or counted), and a negative hit fails the lookup
+// immediately — a cached failure is definitive, so it consumes no
+// retry budget. Wire answers populate the cache with the answer's TTL
+// when the environment exposes one (TTLLookuper), or the cache's
+// default TTL otherwise; terminal failures populate the negative
+// cache.
 func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Addr, error) {
+	if b.Cache != nil {
+		if addrs, negative, ok := b.Cache.LookupDNS(host); ok {
+			if negative {
+				out.NegCacheHit = true
+				b.TotalNegCacheHits++
+				b.emit(obs.Event{Kind: obs.KindDNSCacheHit, Host: host, Detail: "negative"})
+				return nil, ErrNegativeCache
+			}
+			out.DNSCacheHits++
+			b.TotalDNSCacheHits++
+			b.emit(obs.Event{Kind: obs.KindDNSCacheHit, Host: host})
+			return addrs, nil
+		}
+	}
 	for try := 0; ; try++ {
 		out.DNSQueries++
 		b.emit(obs.Event{Kind: obs.KindDNSQuery, Host: host, N: try + 1})
-		addrs, err := env.Lookup(host)
+		addrs, ttl, err := b.envLookup(env, host)
 		if err == nil {
+			if b.Cache != nil && len(addrs) > 0 {
+				b.Cache.PutDNS(host, addrs, ttl)
+			}
 			return addrs, nil
 		}
 		b.TotalDNSFail++
 		b.emit(obs.Event{Kind: obs.KindDNSFail, Host: host, Detail: err.Error()})
 		if try >= b.MaxRetries {
+			if b.Cache != nil {
+				b.Cache.PutNegativeDNS(host)
+			}
 			return nil, err
 		}
 		b.retryDelay(try, out)
 	}
+}
+
+// envLookup issues one lookup against the environment. Only a
+// cache-carrying browser takes the TTLLookuper path — without a cache
+// the TTL is unused, and calling Lookup keeps the environment's side
+// effects identical to a cache-free build.
+func (b *Browser) envLookup(env Environment, host string) ([]netip.Addr, uint32, error) {
+	if b.Cache != nil {
+		if tl, ok := env.(TTLLookuper); ok {
+			return tl.LookupTTL(host)
+		}
+	}
+	addrs, err := env.Lookup(host)
+	return addrs, b.Cache.DefaultTTL(), err
 }
 
 // retryDelay accounts one retry and its modelled backoff before attempt
@@ -463,7 +563,30 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 	b.conns = append(b.conns, c)
 	out.NewConnection = true
 	out.ConnHost = host
-	b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+	if b.Cache != nil {
+		// Warm path: a stored ticket whose certificate coverage includes
+		// this host resumes the handshake — no full handshake, no chain
+		// validation (arXiv:1902.02531 resumption-across-hostnames).
+		// Otherwise a full handshake runs, validating the chain unless
+		// the memo has seen it before. Either way the new session mints
+		// a ticket for future visits.
+		if out.ResumedTLS = b.Cache.RedeemTicket(host); out.ResumedTLS {
+			b.TotalResumed++
+			b.emit(obs.Event{Kind: obs.KindTLSResume, Host: host, Detail: ip.String()})
+		} else {
+			b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+			if out.CertMemoHit = b.Cache.ValidateChain("", c.SANs); out.CertMemoHit {
+				b.TotalCertMemoHits++
+				b.emit(obs.Event{Kind: obs.KindCertMemoHit, Host: host})
+			} else {
+				b.TotalValidations++
+			}
+		}
+		b.Cache.StoreTicket(c.SANs)
+	} else {
+		b.TotalValidations++
+		b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+	}
 	if len(c.Origins) > 0 {
 		b.emit(obs.Event{Kind: obs.KindOriginFrame, Host: host, N: len(c.Origins)})
 	}
@@ -502,6 +625,15 @@ func (b *Browser) account(out Outcome) {
 		}
 		if out.Err != nil {
 			obs.Count(b.Rec, "browser.failed", 1)
+		}
+		if out.DNSCacheHits > 0 {
+			obs.Count(b.Rec, "browser.dns_cache_hits", int64(out.DNSCacheHits))
+		}
+		if out.ResumedTLS {
+			obs.Count(b.Rec, "browser.tls_resumed", 1)
+		}
+		if out.CertMemoHit {
+			obs.Count(b.Rec, "browser.cert_memo_hits", 1)
 		}
 	}
 }

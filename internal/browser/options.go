@@ -1,0 +1,55 @@
+package browser
+
+import (
+	"respectorigin/internal/cache"
+	"respectorigin/internal/obs"
+)
+
+// Option configures a Browser at construction. Options replace the
+// historical pattern of poking exported fields after New: a call like
+//
+//	b := browser.New(p, browser.WithRetries(2, 250), browser.WithCache(c))
+//
+// builds a fully-configured pool in one expression. The exported fields
+// remain writable for compatibility, but new call sites should prefer
+// options so construction-time invariants stay in one place.
+type Option func(*Browser)
+
+// WithSkipOriginDNS suppresses the blocking DNS query for hosts found
+// in an ORIGIN frame's origin set (the §6.8 recommended client change).
+// Only meaningful for PolicyFirefoxOrigin.
+func WithSkipOriginDNS(skip bool) Option {
+	return func(b *Browser) { b.SkipOriginDNS = skip }
+}
+
+// WithRetries sets the retry budget for failed lookups and connection
+// attempts and the base of the exponential backoff schedule.
+func WithRetries(max int, backoffMs float64) Option {
+	return func(b *Browser) {
+		b.MaxRetries = max
+		b.RetryBackoffMs = backoffMs
+	}
+}
+
+// WithRecorder installs an observability recorder and the rank tag for
+// the events it receives. A nil recorder keeps observation off.
+func WithRecorder(rec obs.Recorder, rank int) Option {
+	return func(b *Browser) {
+		b.Rec = rec
+		b.Rank = rank
+	}
+}
+
+// WithCache installs the warm-path cache (DNS answers, TLS session
+// tickets, validated-chain memo). nil keeps every warm path disabled.
+func WithCache(c *cache.Cache) Option {
+	return func(b *Browser) { b.Cache = c }
+}
+
+// SetRecorder installs an observability recorder post-construction.
+//
+// Deprecated: pass WithRecorder to New instead.
+func (b *Browser) SetRecorder(rec obs.Recorder, rank int) {
+	b.Rec = rec
+	b.Rank = rank
+}

@@ -1,0 +1,202 @@
+package browser
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"respectorigin/internal/cache"
+	"respectorigin/internal/obs"
+)
+
+// ttlEnv wraps fakeEnv with a TTLLookuper so cache-carrying browsers
+// exercise the TTL-honoring path.
+type ttlEnv struct {
+	fakeEnv
+	ttl        uint32
+	ttlLookups int
+}
+
+func (f *ttlEnv) LookupTTL(host string) ([]netip.Addr, uint32, error) {
+	f.ttlLookups++
+	f.lookups++
+	return f.answers[host], f.ttl, nil
+}
+
+func warmEnv() *ttlEnv {
+	return &ttlEnv{
+		ttl: 300,
+		fakeEnv: fakeEnv{
+			answers: map[string][]netip.Addr{
+				"www.example.com":    {ip("192.0.2.1")},
+				"static.example.com": {ip("192.0.2.2")},
+			},
+			sans: map[string][]string{
+				"www.example.com":    {"www.example.com", "static.example.com"},
+				"static.example.com": {"www.example.com", "static.example.com"},
+			},
+		},
+	}
+}
+
+func TestOptionsConfigureBrowser(t *testing.T) {
+	c := cache.New(cache.Options{})
+	var tr obs.Trace
+	b := New(PolicyFirefoxOrigin,
+		WithSkipOriginDNS(true),
+		WithRetries(3, 125),
+		WithRecorder(&tr, 7),
+		WithCache(c),
+	)
+	if !b.SkipOriginDNS || b.MaxRetries != 3 || b.RetryBackoffMs != 125 {
+		t.Fatalf("options not applied: %+v", b)
+	}
+	if b.Rec != &tr || b.Rank != 7 || b.Cache != c {
+		t.Fatal("recorder/cache options not applied")
+	}
+	// No options at all must equal the historical zero-value construction.
+	plain := New(PolicyChromium)
+	if plain.MaxRetries != 0 || plain.Rec != nil || plain.Cache != nil {
+		t.Fatalf("optionless New changed defaults: %+v", plain)
+	}
+}
+
+func TestWarmVisitServesDNSFromCache(t *testing.T) {
+	c := cache.New(cache.Options{})
+	env := warmEnv()
+	b := New(PolicyFirefox, WithCache(c))
+
+	first := b.Request(env, "www.example.com")
+	if first.DNSQueries != 1 || first.DNSCacheHits != 0 {
+		t.Fatalf("cold visit: %+v, want one real query", first)
+	}
+	if env.ttlLookups != 1 {
+		t.Fatal("cache-carrying browser must use the TTLLookuper path")
+	}
+
+	b.Reset() // new browsing session; the cache survives
+	second := b.Request(env, "www.example.com")
+	if second.DNSQueries != 0 || second.DNSCacheHits != 1 {
+		t.Fatalf("warm visit: %+v, want zero queries and one cache hit", second)
+	}
+	if env.lookups != 1 {
+		t.Fatalf("env lookups = %d, warm visit must not touch the wire", env.lookups)
+	}
+
+	// Past the TTL the cache must re-query.
+	c.Clock().AdvanceMs(300_000)
+	b.Reset()
+	third := b.Request(env, "www.example.com")
+	if third.DNSQueries != 1 || third.DNSCacheHits != 0 {
+		t.Fatalf("expired visit: %+v, want a real query", third)
+	}
+}
+
+func TestWarmVisitResumesTLS(t *testing.T) {
+	c := cache.New(cache.Options{})
+	env := warmEnv()
+	b := New(PolicyFirefox, WithCache(c))
+
+	first := b.Request(env, "www.example.com")
+	if !first.NewConnection || first.ResumedTLS {
+		t.Fatalf("cold visit: %+v, want a full handshake", first)
+	}
+	if b.TotalValidations != 1 {
+		t.Fatalf("TotalValidations = %d, want 1", b.TotalValidations)
+	}
+
+	b.Reset()
+	second := b.Request(env, "www.example.com")
+	if !second.NewConnection || !second.ResumedTLS {
+		t.Fatalf("warm visit: %+v, want ticket resumption", second)
+	}
+	if second.Reused {
+		t.Fatal("resumption must not be confused with coalescing reuse")
+	}
+	// Totals are per-session (Reset zeroed the cold visit's): the warm
+	// session resumed once and validated nothing.
+	if b.TotalValidations != 0 || b.TotalResumed != 1 {
+		t.Fatalf("validations=%d resumed=%d, resumption must skip validation",
+			b.TotalValidations, b.TotalResumed)
+	}
+}
+
+func TestTicketResumesAcrossHostnames(t *testing.T) {
+	// The www certificate covers static too; its ticket resumes a
+	// connection to static even under Chromium, which never coalesces
+	// the two (arXiv:1902.02531 resumption-across-hostnames).
+	c := cache.New(cache.Options{})
+	env := warmEnv()
+	b := New(PolicyChromium, WithCache(c))
+
+	b.Request(env, "www.example.com")
+	second := b.Request(env, "static.example.com")
+	if second.Reused {
+		t.Fatalf("chromium must not coalesce here: %+v", second)
+	}
+	if !second.NewConnection || !second.ResumedTLS {
+		t.Fatalf("cross-host resumption failed: %+v", second)
+	}
+}
+
+func TestCertMemoSkipsRepeatValidation(t *testing.T) {
+	// With tickets disabled every connection does a full handshake, but
+	// the second handshake over the same chain hits the memo.
+	c := cache.New(cache.Options{TicketLifetimeSeconds: cache.TicketsDisabled})
+	env := warmEnv()
+	b := New(PolicyChromium, WithCache(c))
+
+	first := b.Request(env, "www.example.com")
+	second := b.Request(env, "static.example.com")
+	if first.ResumedTLS || second.ResumedTLS {
+		t.Fatal("tickets are disabled; nothing may resume")
+	}
+	if first.CertMemoHit || !second.CertMemoHit {
+		t.Fatalf("memo: first=%+v second=%+v, want hit only on repeat chain", first, second)
+	}
+	if b.TotalValidations != 1 || b.TotalCertMemoHits != 1 {
+		t.Fatalf("validations=%d memoHits=%d, want 1/1", b.TotalValidations, b.TotalCertMemoHits)
+	}
+}
+
+func TestNegativeCacheShortCircuitsRetries(t *testing.T) {
+	c := cache.New(cache.Options{})
+	env := &failingEnv{fakeEnv: fakeEnv{answers: map[string][]netip.Addr{}}}
+	env.dnsFailures = 10
+	b := New(PolicyFirefox, WithRetries(1, 100), WithCache(c))
+
+	first := b.Request(env, "down.example")
+	if first.Err == nil || first.DNSQueries != 2 {
+		t.Fatalf("cold failure: %+v, want 2 attempts (1 retry)", first)
+	}
+	wireQueries := env.lookups
+
+	second := b.Request(env, "down.example")
+	if !errors.Is(second.Err, ErrNegativeCache) {
+		t.Fatalf("err = %v, want ErrNegativeCache", second.Err)
+	}
+	if !second.NegCacheHit || second.DNSQueries != 0 || second.Retries != 0 {
+		t.Fatalf("warm failure: %+v, want instant negative-cache answer", second)
+	}
+	if env.lookups != wireQueries {
+		t.Fatal("negative-cache hit must not touch the wire")
+	}
+}
+
+func TestCachelessBrowserUnchanged(t *testing.T) {
+	// Without a cache the TTLLookuper path must not be taken and no
+	// warm-path accounting may move.
+	env := warmEnv()
+	b := New(PolicyFirefox)
+	b.Request(env, "www.example.com")
+	b.Request(env, "www.example.com")
+	if env.ttlLookups != 0 {
+		t.Fatalf("ttlLookups = %d, cacheless browser must call Lookup", env.ttlLookups)
+	}
+	if b.TotalDNSCacheHits != 0 || b.TotalResumed != 0 || b.TotalCertMemoHits != 0 {
+		t.Fatal("warm-path totals moved without a cache")
+	}
+	if b.TotalValidations != 1 {
+		t.Fatalf("TotalValidations = %d, want 1 (one new connection)", b.TotalValidations)
+	}
+}

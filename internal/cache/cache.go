@@ -1,0 +1,206 @@
+// Package cache is the warm-path state layer of the ORIGIN stack: a
+// deterministic, simulated-clock-driven cache subsystem with three
+// stores, modelling what a returning client keeps between page loads —
+//
+//   - a TTL-aware DNS answer cache (positive and negative entries,
+//     per-name TTLs sourced from the authority, LRU capacity bound with
+//     deterministic eviction order);
+//   - a TLS session-resumption store whose tickets are keyed by
+//     certificate coverage, enabling resumption across hostnames (any
+//     host the issuing connection's certificate covers can redeem the
+//     ticket, per arXiv:1902.02531), with ticket lifetime and
+//     single-use options;
+//   - a validated-certificate-chain memo keyed by chain hash, so
+//     repeated validations of an already-seen chain count as cache hits
+//     (the paper's "cert validations saved" metric).
+//
+// The design discipline mirrors the faults and obs layers: a nil
+// *Cache is valid everywhere and means "off", so an uncached run takes
+// no lock, draws no state, and leaves every output byte identical to a
+// build without the layer. Time never comes from the wall clock — every
+// expiry decision reads the cache's simulated Clock, which the driving
+// experiment advances explicitly, so two runs with the same visit
+// schedule are byte-identical. Entries expire at their deadline
+// inclusive: a lookup at exactly the expiry instant is a miss.
+package cache
+
+import "sync"
+
+// Clock is a simulated millisecond clock. It only moves when the
+// driving experiment advances it, never from wall-clock time, so every
+// expiry decision is reproducible.
+type Clock struct {
+	mu sync.Mutex
+	ms int64
+}
+
+// NowMs returns the current simulated time in milliseconds.
+func (c *Clock) NowMs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ms
+}
+
+// AdvanceMs moves the clock forward by d milliseconds (negative values
+// are ignored: simulated time never runs backwards).
+func (c *Clock) AdvanceMs(d int64) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.ms += d
+	c.mu.Unlock()
+}
+
+// SetMs sets the absolute simulated time (tests).
+func (c *Clock) SetMs(ms int64) {
+	c.mu.Lock()
+	c.ms = ms
+	c.mu.Unlock()
+}
+
+// Options configures a Cache.
+type Options struct {
+	// DNSCapacity bounds the DNS cache entry count; the least recently
+	// used entry is evicted first. ≤ 0 selects DefaultDNSCapacity.
+	DNSCapacity int
+	// NegativeTTLSeconds is the lifetime of negative (failed-lookup)
+	// DNS entries. ≤ 0 selects DefaultNegativeTTLSeconds.
+	NegativeTTLSeconds int
+	// DefaultTTLSeconds is the positive-entry TTL used when the answer
+	// source carries none (HAR replays). ≤ 0 selects
+	// DefaultDNSTTLSeconds.
+	DefaultTTLSeconds int
+	// TicketLifetimeSeconds bounds ticket validity. 0 (the zero value)
+	// selects DefaultTicketLifetimeSeconds; TicketsDisabled (any
+	// negative value) disables the resumption store entirely, so every
+	// handshake is full.
+	TicketLifetimeSeconds int
+	// SingleUseTickets removes a ticket on redemption (TLS 1.3
+	// anti-replay discipline); off, a ticket serves until it expires.
+	SingleUseTickets bool
+	// RevisitIntervalMs is the simulated time between successive visits
+	// in warm/cold sequences. ≤ 0 selects DefaultRevisitIntervalMs.
+	RevisitIntervalMs int64
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultDNSCapacity           = 4096
+	DefaultNegativeTTLSeconds    = 60
+	DefaultDNSTTLSeconds         = 300
+	DefaultTicketLifetimeSeconds = 7200
+	DefaultRevisitIntervalMs     = 60_000
+)
+
+// TicketsDisabled, assigned to Options.TicketLifetimeSeconds, turns the
+// resumption store off (useful to isolate the cert-memo contribution).
+const TicketsDisabled = -1
+
+// withDefaults returns o with zero values replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.DNSCapacity <= 0 {
+		o.DNSCapacity = DefaultDNSCapacity
+	}
+	if o.NegativeTTLSeconds <= 0 {
+		o.NegativeTTLSeconds = DefaultNegativeTTLSeconds
+	}
+	if o.DefaultTTLSeconds <= 0 {
+		o.DefaultTTLSeconds = DefaultDNSTTLSeconds
+	}
+	if o.TicketLifetimeSeconds == 0 {
+		o.TicketLifetimeSeconds = DefaultTicketLifetimeSeconds
+	}
+	if o.RevisitIntervalMs <= 0 {
+		o.RevisitIntervalMs = DefaultRevisitIntervalMs
+	}
+	return o
+}
+
+// Cache bundles the three warm-path stores behind one clock. A nil
+// *Cache disables everything; every method is nil-tolerant.
+type Cache struct {
+	opts  Options
+	clock Clock
+
+	DNS     *DNSCache
+	Tickets *TicketStore
+	Chains  *CertMemo
+}
+
+// New returns a Cache with the given options (zero values select the
+// documented defaults).
+func New(opts Options) *Cache {
+	opts = opts.withDefaults()
+	c := &Cache{opts: opts}
+	c.DNS = newDNSCache(opts.DNSCapacity)
+	c.Tickets = newTicketStore(int64(opts.TicketLifetimeSeconds)*1000, opts.SingleUseTickets)
+	c.Chains = newCertMemo()
+	return c
+}
+
+// Enabled reports whether the cache layer is active.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// Clock returns the cache's simulated clock (nil cache: a throwaway
+// clock, so callers need not nil-check before advancing time).
+func (c *Cache) Clock() *Clock {
+	if c == nil {
+		return &Clock{}
+	}
+	return &c.clock
+}
+
+// Opts returns the cache's effective options (zero value when nil).
+func (c *Cache) Opts() Options {
+	if c == nil {
+		return Options{}
+	}
+	return c.opts
+}
+
+// Stats snapshots the hit/miss accounting across all three stores.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	var s Stats
+	c.DNS.addStats(&s)
+	c.Tickets.addStats(&s)
+	c.Chains.addStats(&s)
+	return s
+}
+
+// Stats is the cache subsystem's hit/miss accounting. It is a pure sum,
+// so per-shard snapshots merge associatively and worker counts cannot
+// change aggregate totals.
+type Stats struct {
+	DNSHits         int64
+	DNSNegativeHits int64
+	DNSMisses       int64
+	DNSExpired      int64 // misses caused by an expired entry
+	DNSEvictions    int64 // entries dropped by the LRU capacity bound
+
+	TicketsIssued  int64
+	TicketHits     int64
+	TicketMisses   int64
+	TicketsExpired int64
+
+	ChainHits   int64 // validations skipped via the memo
+	ChainMisses int64 // full validations performed and memoized
+}
+
+// Merge adds o into s.
+func (s *Stats) Merge(o Stats) {
+	s.DNSHits += o.DNSHits
+	s.DNSNegativeHits += o.DNSNegativeHits
+	s.DNSMisses += o.DNSMisses
+	s.DNSExpired += o.DNSExpired
+	s.DNSEvictions += o.DNSEvictions
+	s.TicketsIssued += o.TicketsIssued
+	s.TicketHits += o.TicketHits
+	s.TicketMisses += o.TicketMisses
+	s.TicketsExpired += o.TicketsExpired
+	s.ChainHits += o.ChainHits
+	s.ChainMisses += o.ChainMisses
+}

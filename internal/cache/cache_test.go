@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestDNSCacheTTLExpiryBoundary(t *testing.T) {
+	c := New(Options{})
+	c.PutDNS("a.example", []netip.Addr{ip("192.0.2.1")}, 5) // expires at t=5000ms
+
+	if _, _, ok := c.LookupDNS("a.example"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	c.Clock().AdvanceMs(4999)
+	if _, _, ok := c.LookupDNS("a.example"); !ok {
+		t.Fatal("entry one ms before expiry should hit")
+	}
+	c.Clock().AdvanceMs(1) // now exactly at the expiry instant
+	if _, _, ok := c.LookupDNS("a.example"); ok {
+		t.Fatal("entry expiring exactly at the lookup instant must miss")
+	}
+	s := c.Stats()
+	if s.DNSHits != 2 || s.DNSMisses != 1 || s.DNSExpired != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 expired", s)
+	}
+}
+
+func TestDNSCacheZeroTTLNotCached(t *testing.T) {
+	c := New(Options{})
+	c.PutDNS("zero.example", []netip.Addr{ip("192.0.2.2")}, 0)
+	if c.DNS.Len() != 0 {
+		t.Fatal("zero-TTL answer must not be cached")
+	}
+	if _, _, ok := c.LookupDNS("zero.example"); ok {
+		t.Fatal("zero-TTL answer must miss on the next lookup")
+	}
+}
+
+func TestDNSCacheNegativeHit(t *testing.T) {
+	c := New(Options{NegativeTTLSeconds: 30})
+	c.PutNegativeDNS("missing.example")
+	_, negative, ok := c.LookupDNS("missing.example")
+	if !ok || !negative {
+		t.Fatalf("negative entry: ok=%v negative=%v, want hit on previously failed name", ok, negative)
+	}
+	c.Clock().AdvanceMs(30_000)
+	if _, _, ok := c.LookupDNS("missing.example"); ok {
+		t.Fatal("negative entry must expire at its deadline")
+	}
+	if s := c.Stats(); s.DNSNegativeHits != 1 {
+		t.Fatalf("DNSNegativeHits = %d, want 1", s.DNSNegativeHits)
+	}
+}
+
+func TestDNSCacheLRUEvictionDeterministic(t *testing.T) {
+	c := New(Options{DNSCapacity: 2})
+	a := []netip.Addr{ip("192.0.2.3")}
+	c.PutDNS("one.example", a, 300)
+	c.PutDNS("two.example", a, 300)
+	// Touch "one" so "two" becomes least recently used.
+	if _, _, ok := c.LookupDNS("one.example"); !ok {
+		t.Fatal("one.example should hit")
+	}
+	c.PutDNS("three.example", a, 300) // evicts "two"
+	if _, _, ok := c.LookupDNS("two.example"); ok {
+		t.Fatal("LRU entry two.example should have been evicted")
+	}
+	if _, _, ok := c.LookupDNS("one.example"); !ok {
+		t.Fatal("recently used one.example should survive")
+	}
+	if _, _, ok := c.LookupDNS("three.example"); !ok {
+		t.Fatal("new three.example should be present")
+	}
+	if s := c.Stats(); s.DNSEvictions != 1 {
+		t.Fatalf("DNSEvictions = %d, want 1", s.DNSEvictions)
+	}
+}
+
+func TestDNSCacheCaseAndDotInsensitive(t *testing.T) {
+	c := New(Options{})
+	c.PutDNS("WWW.Example.COM.", []netip.Addr{ip("192.0.2.9")}, 60)
+	if _, _, ok := c.LookupDNS("www.example.com"); !ok {
+		t.Fatal("lookup must canonicalize names like the resolver does")
+	}
+}
+
+func TestTicketResumptionAcrossHostnames(t *testing.T) {
+	c := New(Options{TicketLifetimeSeconds: 100})
+	c.StoreTicket([]string{"www.zone.example", "cdnjs.cloudflare.com", "*.shared.example"})
+
+	if !c.RedeemTicket("cdnjs.cloudflare.com") {
+		t.Fatal("ticket must resume any hostname its certificate covers")
+	}
+	if !c.RedeemTicket("a.shared.example") {
+		t.Fatal("wildcard coverage must allow resumption")
+	}
+	if c.RedeemTicket("b.c.shared.example") {
+		t.Fatal("wildcard matches exactly one label")
+	}
+	if c.RedeemTicket("other.example") {
+		t.Fatal("uncovered host must not resume")
+	}
+}
+
+func TestTicketLifetimeAndSingleUse(t *testing.T) {
+	c := New(Options{TicketLifetimeSeconds: 10, SingleUseTickets: true})
+	c.StoreTicket([]string{"h.example"})
+	if !c.RedeemTicket("h.example") {
+		t.Fatal("first redemption should succeed")
+	}
+	if c.RedeemTicket("h.example") {
+		t.Fatal("single-use ticket must be consumed by redemption")
+	}
+	c.StoreTicket([]string{"h.example"})
+	c.Clock().AdvanceMs(10_000) // exactly the lifetime: dead
+	if c.RedeemTicket("h.example") {
+		t.Fatal("ticket expiring exactly at redemption instant must miss")
+	}
+
+	// TicketsDisabled turns the store off entirely.
+	off := New(Options{TicketLifetimeSeconds: TicketsDisabled})
+	if off.Tickets.Enabled() {
+		t.Fatal("zero ticket lifetime must disable resumption")
+	}
+	off.StoreTicket([]string{"h.example"})
+	if off.RedeemTicket("h.example") {
+		t.Fatal("disabled store must never resume")
+	}
+}
+
+func TestCertMemo(t *testing.T) {
+	c := New(Options{})
+	sans := []string{"b.example", "a.example"}
+	if c.ValidateChain("CA", sans) {
+		t.Fatal("first validation of a chain is a miss")
+	}
+	// SAN order must not matter: same chain, reordered list.
+	if !c.ValidateChain("CA", []string{"a.example", "b.example"}) {
+		t.Fatal("second validation of the same chain must hit the memo")
+	}
+	if c.ValidateChain("OtherCA", sans) {
+		t.Fatal("a different issuer is a different chain")
+	}
+	if s := c.Stats(); s.ChainHits != 1 || s.ChainMisses != 2 {
+		t.Fatalf("chain stats = %+v, want 1 hit / 2 misses", s)
+	}
+}
+
+func TestStatsMergeAssociative(t *testing.T) {
+	a := Stats{DNSHits: 1, TicketHits: 2, ChainMisses: 3}
+	b := Stats{DNSHits: 10, DNSEvictions: 4, TicketsIssued: 5}
+	c := Stats{DNSNegativeHits: 7, ChainHits: 8}
+
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+
+	if abc1 != abc2 {
+		t.Fatalf("merge not associative: %+v vs %+v", abc1, abc2)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if c.Enabled() {
+		t.Fatal("nil cache must report disabled")
+	}
+	c.PutDNS("x", []netip.Addr{ip("192.0.2.1")}, 300)
+	if _, _, ok := c.LookupDNS("x"); ok {
+		t.Fatal("nil cache must miss")
+	}
+	c.PutNegativeDNS("x")
+	c.StoreTicket([]string{"x"})
+	if c.RedeemTicket("x") {
+		t.Fatal("nil cache must not resume")
+	}
+	if c.ValidateChain("CA", []string{"x"}) {
+		t.Fatal("nil cache must not memoize")
+	}
+	c.Clock().AdvanceMs(1000) // must not panic
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", s)
+	}
+}

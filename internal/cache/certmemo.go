@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// CertMemo remembers which certificate chains this client has already
+// validated, keyed by chain hash. A fresh TLS handshake presenting a
+// chain the memo has seen skips the cryptographic validation — the
+// "cert validations saved" component of the paper's Figure 3 metrics.
+// Validation results have no TTL here: within a warm/cold visit
+// sequence the chains' validity windows dwarf the simulated horizon.
+type CertMemo struct {
+	mu   sync.Mutex
+	seen map[uint64]bool
+
+	hits, misses int64
+}
+
+func newCertMemo() *CertMemo {
+	return &CertMemo{seen: make(map[uint64]bool)}
+}
+
+// Validate records one validation of the chain with the given hash and
+// reports whether it was a memo hit (validation skipped) or a miss (a
+// full validation performed and memoized).
+func (m *CertMemo) Validate(chainHash uint64) (hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen[chainHash] {
+		m.hits++
+		return true
+	}
+	m.seen[chainHash] = true
+	m.misses++
+	return false
+}
+
+// Seen reports whether the chain has been validated before, without
+// recording anything.
+func (m *CertMemo) Seen(chainHash uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seen[chainHash]
+}
+
+// Len reports how many distinct chains have been validated.
+func (m *CertMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.seen)
+}
+
+func (m *CertMemo) addStats(s *Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.ChainHits += m.hits
+	s.ChainMisses += m.misses
+}
+
+// ChainHash derives a deterministic identity for a certificate chain
+// from its issuer and SAN set (the simulator's certificates are fully
+// determined by both). The SANs are hashed order-independently, so
+// reordered SAN lists of the same certificate collide as they should.
+func ChainHash(issuer string, sans []string) uint64 {
+	sorted := append([]string(nil), sans...)
+	sort.Strings(sorted)
+	h := fnvOffset
+	h = fnvString(h, issuer)
+	for _, s := range sorted {
+		h = fnvString(h, "|")
+		h = fnvString(h, s)
+	}
+	return h
+}
+
+// FNV-1a, inlined to keep the package dependency-free.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// --- nil-tolerant convenience surface over the three stores ---
+// The protocol layers call these instead of reaching into the stores,
+// so a disabled cache costs one nil check.
+
+// LookupDNS consults the DNS cache for an A-type answer at the current
+// simulated time.
+func (c *Cache) LookupDNS(name string) (addrs []netip.Addr, negative, ok bool) {
+	if c == nil {
+		return nil, false, false
+	}
+	return c.DNS.Get(name, 1, c.clock.NowMs())
+}
+
+// PutDNS stores a positive A answer under the authority's TTL. A zero
+// TTL means uncacheable and stores nothing; sources that carry no TTL
+// at all (HAR replays) should pass DefaultTTL().
+func (c *Cache) PutDNS(name string, addrs []netip.Addr, ttlSeconds uint32) {
+	if c == nil {
+		return
+	}
+	c.DNS.Put(name, 1, addrs, ttlSeconds, c.clock.NowMs())
+}
+
+// DefaultTTL returns the configured positive TTL for answer sources
+// that carry none.
+func (c *Cache) DefaultTTL() uint32 {
+	if c == nil {
+		return 0
+	}
+	return uint32(c.opts.DefaultTTLSeconds)
+}
+
+// PutNegativeDNS stores a failed A lookup under the negative TTL.
+func (c *Cache) PutNegativeDNS(name string) {
+	if c == nil {
+		return
+	}
+	c.DNS.PutNegative(name, 1, uint32(c.opts.NegativeTTLSeconds), c.clock.NowMs())
+}
+
+// RedeemTicket attempts TLS resumption for host.
+func (c *Cache) RedeemTicket(host string) bool {
+	if c == nil {
+		return false
+	}
+	return c.Tickets.Redeem(host, c.clock.NowMs())
+}
+
+// StoreTicket issues a session ticket covering the given SANs.
+func (c *Cache) StoreTicket(sans []string) {
+	if c == nil {
+		return
+	}
+	c.Tickets.Store(sans, c.clock.NowMs())
+}
+
+// ValidateChain records a chain validation, reporting whether the memo
+// made it free.
+func (c *Cache) ValidateChain(issuer string, sans []string) (hit bool) {
+	if c == nil {
+		return false
+	}
+	return c.Chains.Validate(ChainHash(issuer, sans))
+}

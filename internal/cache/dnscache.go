@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"net/netip"
+	"strconv"
+	"sync"
+)
+
+// DNSCache is a TTL-aware answer cache with an LRU capacity bound.
+// Entries are keyed by (name, query type); both positive answers and
+// negative results (failed lookups) are stored. Eviction order is
+// deterministic: the least recently used entry goes first, and "use"
+// means a non-expired Get or a Put.
+type DNSCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*dnsEntry
+
+	// Intrusive LRU list: head is most recent, tail is next to evict.
+	head, tail *dnsEntry
+
+	hits, negHits, misses, expired, evictions int64
+}
+
+type dnsEntry struct {
+	key       string
+	addrs     []netip.Addr
+	negative  bool
+	expiresMs int64
+
+	prev, next *dnsEntry
+}
+
+func newDNSCache(capacity int) *DNSCache {
+	return &DNSCache{capacity: capacity, entries: make(map[string]*dnsEntry)}
+}
+
+// dnsKey builds the cache key for a (name, type) question.
+func dnsKey(name string, typ uint16) string {
+	return strconv.Itoa(int(typ)) + "/" + name
+}
+
+// Get returns the cached answer for (name, typ) at simulated time
+// nowMs. negative reports a cached failure; ok is false on a miss. An
+// entry whose deadline equals nowMs is already expired: TTLs are
+// "seconds remaining", so at the instant the budget reaches zero the
+// answer may no longer be served.
+func (d *DNSCache) Get(name string, typ uint16, nowMs int64) (addrs []netip.Addr, negative, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, found := d.entries[d.canon(name, typ)]
+	if !found {
+		d.misses++
+		return nil, false, false
+	}
+	if nowMs >= e.expiresMs {
+		d.remove(e)
+		d.misses++
+		d.expired++
+		return nil, false, false
+	}
+	d.touch(e)
+	if e.negative {
+		d.negHits++
+		return nil, true, true
+	}
+	d.hits++
+	return append([]netip.Addr(nil), e.addrs...), false, true
+}
+
+// Put stores a positive answer with the given TTL. Zero-TTL answers are
+// uncacheable and dropped on the floor (they would expire at the very
+// instant of the next lookup anyway).
+func (d *DNSCache) Put(name string, typ uint16, addrs []netip.Addr, ttlSeconds uint32, nowMs int64) {
+	if ttlSeconds == 0 || len(addrs) == 0 {
+		return
+	}
+	d.put(&dnsEntry{
+		key:       d.canon(name, typ),
+		addrs:     append([]netip.Addr(nil), addrs...),
+		expiresMs: nowMs + int64(ttlSeconds)*1000,
+	})
+}
+
+// PutNegative stores a failed lookup with the given negative TTL.
+func (d *DNSCache) PutNegative(name string, typ uint16, ttlSeconds uint32, nowMs int64) {
+	if ttlSeconds == 0 {
+		return
+	}
+	d.put(&dnsEntry{
+		key:       d.canon(name, typ),
+		negative:  true,
+		expiresMs: nowMs + int64(ttlSeconds)*1000,
+	})
+}
+
+func (d *DNSCache) put(e *dnsEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.entries[e.key]; ok {
+		d.remove(old)
+	}
+	d.entries[e.key] = e
+	d.pushFront(e)
+	for len(d.entries) > d.capacity {
+		d.remove(d.tail)
+		d.evictions++
+	}
+}
+
+// Len reports the current entry count.
+func (d *DNSCache) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+func (d *DNSCache) canon(name string, typ uint16) string { return dnsKey(canonical(name), typ) }
+
+// canonical lower-cases a hostname and strips one trailing dot,
+// mirroring the dns package's canonicalName without importing it.
+func canonical(name string) string {
+	if n := len(name); n > 0 && name[n-1] == '.' {
+		name = name[:n-1]
+	}
+	lower := true
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// --- intrusive LRU list (callers hold d.mu) ---
+
+func (d *DNSCache) pushFront(e *dnsEntry) {
+	e.prev, e.next = nil, d.head
+	if d.head != nil {
+		d.head.prev = e
+	}
+	d.head = e
+	if d.tail == nil {
+		d.tail = e
+	}
+}
+
+func (d *DNSCache) unlink(e *dnsEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		d.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		d.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (d *DNSCache) remove(e *dnsEntry) {
+	d.unlink(e)
+	delete(d.entries, e.key)
+}
+
+func (d *DNSCache) touch(e *dnsEntry) {
+	d.unlink(e)
+	d.pushFront(e)
+}
+
+func (d *DNSCache) addStats(s *Stats) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s.DNSHits += d.hits
+	s.DNSNegativeHits += d.negHits
+	s.DNSMisses += d.misses
+	s.DNSExpired += d.expired
+	s.DNSEvictions += d.evictions
+}

@@ -1,0 +1,130 @@
+package cache
+
+import "sync"
+
+// TicketStore models TLS session-ticket resumption keyed by certificate
+// coverage: a ticket is redeemable for any hostname the issuing
+// connection's certificate covers, enabling resumption across hostnames
+// (arXiv:1902.02531) exactly as coalescing reuses a connection across
+// hostnames. Tickets expire after the configured lifetime and can be
+// single-use; redemption scans tickets oldest-first, so the order of
+// issuance fully determines which ticket serves a host and two runs
+// with the same visit schedule redeem identically.
+type TicketStore struct {
+	mu         sync.Mutex
+	lifetimeMs int64 // 0 disables the store
+	singleUse  bool
+	tickets    []ticket
+
+	issued, hits, misses, expiredN int64
+}
+
+type ticket struct {
+	sans      []string
+	expiresMs int64
+}
+
+func newTicketStore(lifetimeMs int64, singleUse bool) *TicketStore {
+	return &TicketStore{lifetimeMs: lifetimeMs, singleUse: singleUse}
+}
+
+// Enabled reports whether tickets are issued at all (a zero lifetime
+// disables resumption entirely).
+func (t *TicketStore) Enabled() bool { return t.lifetimeMs > 0 }
+
+// Store issues a session ticket for a connection whose certificate
+// carries the given SANs. Full and resumed handshakes both issue fresh
+// tickets (the TLS 1.3 NewSessionTicket flow).
+func (t *TicketStore) Store(sans []string, nowMs int64) {
+	if !t.Enabled() || len(sans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.issued++
+	t.tickets = append(t.tickets, ticket{
+		sans:      append([]string(nil), sans...),
+		expiresMs: nowMs + t.lifetimeMs,
+	})
+}
+
+// Redeem consumes (or, for reusable tickets, touches) the oldest live
+// ticket whose certificate coverage includes host, reporting whether a
+// resumption handshake is possible. Expired tickets encountered during
+// the scan are dropped. A ticket expiring exactly at nowMs is dead.
+func (t *TicketStore) Redeem(host string, nowMs int64) bool {
+	if !t.Enabled() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.tickets[:0]
+	hit := false
+	for _, tk := range t.tickets {
+		if nowMs >= tk.expiresMs {
+			t.expiredN++
+			continue
+		}
+		if !hit && SANsCover(tk.sans, host) {
+			hit = true
+			if t.singleUse {
+				continue // consumed
+			}
+		}
+		kept = append(kept, tk)
+	}
+	t.tickets = kept
+	if hit {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return hit
+}
+
+// Len reports the live ticket count (expired tickets may linger until
+// the next Redeem scan).
+func (t *TicketStore) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tickets)
+}
+
+func (t *TicketStore) addStats(s *Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.TicketsIssued += t.issued
+	s.TicketHits += t.hits
+	s.TicketMisses += t.misses
+	s.TicketsExpired += t.expiredN
+}
+
+// SANsCover reports whether a certificate SAN list covers host,
+// honoring single-label wildcards (the same matching rule the browser
+// pool applies before coalescing onto a connection).
+func SANsCover(sans []string, host string) bool {
+	for _, san := range sans {
+		if san == host {
+			return true
+		}
+		if len(san) > 2 && san[0] == '*' && san[1] == '.' {
+			suffix := san[1:] // ".example.com"
+			if len(host) > len(suffix) && host[len(host)-len(suffix):] == suffix {
+				label := host[:len(host)-len(suffix)]
+				if label != "" && !hasDot(label) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -330,21 +330,33 @@ func (c *CDN) ExitExperiment() {
 
 // Lookup resolves a hostname through the CDN's authority.
 func (c *CDN) Lookup(host string) ([]netip.Addr, error) {
+	addrs, _, err := c.LookupTTL(host)
+	return addrs, err
+}
+
+// LookupTTL implements browser.TTLLookuper: the address set plus the
+// minimum TTL across its A records, the budget a client cache may keep
+// the answer for.
+func (c *CDN) LookupTTL(host string) ([]netip.Addr, uint32, error) {
 	q := &dns.Message{
 		Header:    dns.Header{ID: 1, RD: true},
 		Questions: []dns.Question{{Name: host, Type: dns.TypeA, Class: dns.ClassINET}},
 	}
 	resp := c.auth.Handle(q)
 	if resp.Header.Rcode != dns.RcodeSuccess {
-		return nil, fmt.Errorf("cdn: DNS rcode %d for %s", resp.Header.Rcode, host)
+		return nil, 0, fmt.Errorf("cdn: DNS rcode %d for %s", resp.Header.Rcode, host)
 	}
 	var addrs []netip.Addr
+	var ttl uint32
 	for _, rr := range resp.Answers {
 		if rr.Type == dns.TypeA {
 			addrs = append(addrs, rr.Addr)
+			if ttl == 0 || rr.TTL < ttl {
+				ttl = rr.TTL
+			}
 		}
 	}
-	return addrs, nil
+	return addrs, ttl, nil
 }
 
 // CertSANs returns the SAN list served for an SNI of host.

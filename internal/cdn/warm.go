@@ -1,0 +1,149 @@
+package cdn
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"respectorigin/internal/browser"
+	"respectorigin/internal/cache"
+	"respectorigin/internal/core"
+)
+
+// UseSession adopts a core.Session's shared wiring: the experiment's
+// recorder becomes the session's. The fault plan and retry budget are
+// intentionally NOT taken from the session here — they flow through
+// ExperimentConfig at SetupExperiment time, where the injector's stream
+// is seeded (Seed ^ 0x5fa17e), so a session-driven run stays
+// byte-identical to a config-driven one.
+func (e *Experiment) UseSession(s *core.Session) {
+	e.SetRecorder(s.Rec)
+}
+
+// WarmCold measures the marginal cost of returning visitors: every
+// sample zone's page is visited revisits times by one Firefox client
+// whose warm-path cache (built fresh per zone from opts) persists
+// across visits, with the cache clock advanced by the configured
+// revisit interval between them. Element i of the result sums what
+// visit i+1 cost across all zones; element 0 is the cold load.
+//
+// The visit structure — which third-party pools are anonymous — is
+// drawn once per zone from a dedicated stream, so every revisit replays
+// the identical request sequence and per-visit differences decompose
+// exactly into {coalescing, DNS cache, TLS resumption, cert memo}.
+// Visits never touch the log pipeline or the experiment's own RNG, so
+// running WarmCold leaves every other measurement untouched.
+func (e *Experiment) WarmCold(revisits int, opts cache.Options) []core.VisitCosts {
+	if revisits <= 0 {
+		return nil
+	}
+	costs := make([]core.VisitCosts, revisits)
+	for zi, z := range e.SampleZones {
+		if z.Churned {
+			continue
+		}
+		zrng := rand.New(rand.NewSource(e.Cfg.Seed ^ (int64(zi)+1)*0x9e3779b9))
+		anon := make([]bool, z.ThirdPartyPools)
+		for p := range anon {
+			if p == 0 {
+				anon[p] = z.UsesAnonymousFetch
+			} else {
+				anon[p] = zrng.Float64() < 0.5
+			}
+		}
+		c := cache.New(opts)
+		b := browser.New(browser.PolicyFirefoxOrigin, browser.WithCache(c))
+		for v := 0; v < revisits; v++ {
+			if v > 0 {
+				c.Clock().AdvanceMs(c.Opts().RevisitIntervalMs)
+				b.Reset() // fresh browsing session; warm state survives in c
+			}
+			costs[v].Add(e.warmVisit(z, b, c, anon))
+		}
+	}
+	return costs
+}
+
+// warmVisit is one page view of z through a persistent-cache browser,
+// returning the visit's cost ledger. Anonymous third-party pools do not
+// ride the coalescing pool but still see the client's DNS cache, ticket
+// store and chain memo, mirroring how uncredentialed requests share
+// OS- and TLS-layer state.
+func (e *Experiment) warmVisit(z *Zone, b *browser.Browser, c *cache.Cache, anon []bool) core.VisitCosts {
+	vc := core.VisitCosts{Pages: 1}
+	out := b.Request(e.CDN, z.Host)
+	addOutcome(&vc, out)
+	if out.Err != nil {
+		return vc
+	}
+	for _, anonymous := range anon {
+		if anonymous {
+			e.anonymousFetch(&vc, c)
+			continue
+		}
+		addOutcome(&vc, b.Request(e.CDN, e.CDN.ThirdParty))
+	}
+	return vc
+}
+
+// anonymousFetch models one uncredentialed third-party fetch: always a
+// fresh connection (never coalesced), but DNS, resumption and the memo
+// still apply.
+func (e *Experiment) anonymousFetch(vc *core.VisitCosts, c *cache.Cache) {
+	tp := e.CDN.ThirdParty
+	if _, negative, ok := c.LookupDNS(tp); ok && !negative {
+		vc.DNSCacheHits++
+	} else {
+		vc.DNSQueries++
+		if addrs, ttl, err := e.CDN.LookupTTL(tp); err == nil && len(addrs) > 0 {
+			c.PutDNS(tp, addrs, ttl)
+		}
+	}
+	vc.ConnsNeeded++
+	sans := e.CDN.CertSANs(tp, netip.Addr{})
+	if c.RedeemTicket(tp) {
+		vc.ResumedTLS++
+	} else {
+		vc.FullHandshakes++
+		if c.ValidateChain("", sans) {
+			vc.CertMemoHits++
+		} else {
+			vc.Validations++
+		}
+	}
+	c.StoreTicket(sans)
+}
+
+// addOutcome folds one browser outcome into a cost ledger, attributing
+// each avoided unit to its cause exactly as the browser accounted it.
+func addOutcome(vc *core.VisitCosts, out browser.Outcome) {
+	vc.DNSQueries += out.DNSQueries
+	vc.DNSCacheHits += out.DNSCacheHits
+	if out.NegCacheHit {
+		vc.DNSNegHits++
+	}
+	if out.Err != nil {
+		return
+	}
+	switch {
+	case out.Reused:
+		vc.ConnsNeeded++
+		vc.ReusedConns++
+		if out.DNSQueries == 0 && out.DNSCacheHits == 0 {
+			// Reuse that issued no lookup at all (the SkipOriginDNS
+			// path): the coalescing decision absorbed the DNS need too.
+			vc.DNSCoalesced++
+		}
+	case out.NewConnection:
+		vc.ConnsNeeded++
+		if out.ResumedTLS {
+			vc.ResumedTLS++
+		} else {
+			vc.FullHandshakes++
+			if out.CertMemoHit {
+				vc.CertMemoHits++
+			} else {
+				vc.Validations++
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Session consolidates the client-side experiment wiring that the cmd
+// mains and example programs used to hand-assemble piecewise: one value
+// carries the resolver, the network model, the fault plan and retry
+// budget, the observability recorder, and the warm-path cache policy,
+// and hands out consistently-configured browsers, environments and
+// caches on demand.
+package core
+
+import (
+	"respectorigin/internal/browser"
+	"respectorigin/internal/cache"
+	"respectorigin/internal/dns"
+	"respectorigin/internal/faults"
+	"respectorigin/internal/netsim"
+	"respectorigin/internal/obs"
+)
+
+// DefaultRetryBackoffMs is the base backoff browsers get under a
+// nonzero fault plan, matching the deployment experiment's schedule.
+const DefaultRetryBackoffMs = 250
+
+// Session is the shared client-side configuration of one experiment
+// run. The zero value is usable: no faults, no recorder, no cache, the
+// default network model, and no resolver until WithAuthority installs
+// one. Fields are set at construction via SessionOptions and read-only
+// afterwards.
+type Session struct {
+	Seed     int64
+	Resolver *dns.Resolver
+	Net      netsim.Params
+
+	// Fault policy: the plan every environment wrapped by WrapEnv
+	// samples, and the retry budget browsers get when it is nonzero.
+	Plan      faults.Plan
+	Retries   int
+	BackoffMs float64
+
+	// Rec receives every layer's counters and trace events; nil (the
+	// default) keeps observation off everywhere.
+	Rec obs.Recorder
+
+	// CacheOpts parameterizes the warm-path caches NewCache mints;
+	// cacheOn gates whether NewCache mints at all.
+	CacheOpts cache.Options
+	cacheOn   bool
+
+	inj *faults.Injector
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// NewSession builds a Session seeded for deterministic replay.
+func NewSession(seed int64, opts ...SessionOption) *Session {
+	s := &Session{Seed: seed, Net: netsim.DefaultParams(), BackoffMs: DefaultRetryBackoffMs}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WithAuthority installs a stub resolver over the given authority,
+// wired to the session's recorder and (when caching is on) a shared
+// warm-path cache.
+func WithAuthority(a *dns.Authority) SessionOption {
+	return func(s *Session) {
+		s.Resolver = dns.NewResolver(a)
+		s.Resolver.SetRecorder(s.Rec)
+		if s.cacheOn {
+			s.Resolver.UseCache(cache.New(s.CacheOpts))
+		}
+	}
+}
+
+// WithNetwork overrides the network model parameters.
+func WithNetwork(p netsim.Params) SessionOption {
+	return func(s *Session) { s.Net = p }
+}
+
+// WithFaults installs a degradation plan and the browser retry budget
+// that accompanies it. The injector draws from its own seeded stream
+// (Seed ^ 0x5fa17e, the same derivation the deployment experiment
+// uses), so fault sampling never perturbs an experiment's own
+// randomness and a zero plan leaves every output byte-identical.
+func WithFaults(plan faults.Plan, retries int) SessionOption {
+	return func(s *Session) {
+		s.Plan = plan
+		s.Retries = retries
+		if !plan.Zero() {
+			s.inj = faults.NewInjector(plan, s.Seed^0x5fa17e)
+		}
+	}
+}
+
+// WithRecorder installs the observability recorder. Order matters:
+// pass it before WithAuthority so the resolver picks it up.
+func WithRecorder(rec obs.Recorder) SessionOption {
+	return func(s *Session) { s.Rec = rec }
+}
+
+// WithCache turns the warm-path cache subsystem on with the given
+// options (zero values select the cache package defaults).
+func WithCache(opts cache.Options) SessionOption {
+	return func(s *Session) {
+		s.CacheOpts = opts
+		s.cacheOn = true
+	}
+}
+
+// CacheEnabled reports whether WithCache was applied.
+func (s *Session) CacheEnabled() bool { return s.cacheOn }
+
+// NewCache mints a fresh warm-path cache under the session's policy,
+// or nil when caching is off — one per simulated client, since warm
+// state must never be shared across distinct clients (that would model
+// a shared OS cache, not a returning visitor).
+func (s *Session) NewCache() *cache.Cache {
+	if !s.cacheOn {
+		return nil
+	}
+	return cache.New(s.CacheOpts)
+}
+
+// Injector returns the session's fault injector (nil under a zero
+// plan).
+func (s *Session) Injector() *faults.Injector { return s.inj }
+
+// NewBrowser hands out a browser configured with the session's retry
+// budget, recorder and a fresh warm-path cache.
+func (s *Session) NewBrowser(p browser.Policy) *browser.Browser {
+	return browser.New(p,
+		browser.WithRetries(s.Retries, s.BackoffMs),
+		browser.WithRecorder(s.Rec, 0),
+		browser.WithCache(s.NewCache()),
+	)
+}
+
+// WrapEnv layers the session's fault plan over an environment; under a
+// zero plan the environment is returned unchanged, preserving the
+// fault-free fast path exactly.
+func (s *Session) WrapEnv(env browser.Environment) browser.Environment {
+	if s.inj == nil {
+		return env
+	}
+	return &faults.Env{Inner: env, Inj: s.inj}
+}

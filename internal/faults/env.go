@@ -26,6 +26,7 @@ type Env struct {
 var (
 	_ browser.Environment   = (*Env)(nil)
 	_ browser.ConnectFailer = (*Env)(nil)
+	_ browser.TTLLookuper   = (*Env)(nil)
 )
 
 // Lookup resolves through the inner environment unless a DNS fault
@@ -38,6 +39,24 @@ func (e *Env) Lookup(host string) ([]netip.Addr, error) {
 		return nil, ErrDNSTimeout
 	}
 	return e.Inner.Lookup(host)
+}
+
+// LookupTTL implements browser.TTLLookuper with the same fault draws as
+// Lookup, so a cache-carrying browser sees an identical fault stream.
+// When the inner environment does not expose TTLs the answer is
+// reported uncacheable (TTL 0).
+func (e *Env) LookupTTL(host string) ([]netip.Addr, uint32, error) {
+	if e.Inj.Hit(KindDNSFail) {
+		return nil, 0, ErrDNSServFail
+	}
+	if e.Inj.Hit(KindDNSTimeout) {
+		return nil, 0, ErrDNSTimeout
+	}
+	if tl, ok := e.Inner.(browser.TTLLookuper); ok {
+		return tl.LookupTTL(host)
+	}
+	addrs, err := e.Inner.Lookup(host)
+	return addrs, 0, err
 }
 
 // CertSANs passes through.

@@ -27,8 +27,11 @@ package obs
 const (
 	KindPageStart    = "page_start"
 	KindDNSQuery     = "dns_query"
+	KindDNSCacheHit  = "dns_cache_hit"
 	KindDNSFail      = "dns_fail"
 	KindTLSHandshake = "tls_handshake"
+	KindTLSResume    = "tls_resume"
+	KindCertMemoHit  = "cert_memo_hit"
 	KindConnectFail  = "connect_fail"
 	KindStreamOpen   = "h2_stream_open"
 	KindOriginFrame  = "origin_frame"

@@ -17,8 +17,11 @@ import (
 type Funnel struct {
 	Pages          int // page_start events (one per traced page load)
 	DNSQueries     int
+	DNSCacheHits   int // lookups served from the warm-path DNS cache
 	DNSFailures    int
 	TLSHandshakes  int
+	TLSResumed     int // connections established via ticket resumption
+	CertMemoHits   int // chain validations skipped via the memo
 	ConnectFails   int
 	StreamsOpened  int
 	OriginFrames   int
@@ -49,10 +52,16 @@ func FunnelFromEvents(evs []obs.Event) Funnel {
 			f.Pages++
 		case obs.KindDNSQuery:
 			f.DNSQueries++
+		case obs.KindDNSCacheHit:
+			f.DNSCacheHits++
 		case obs.KindDNSFail:
 			f.DNSFailures++
 		case obs.KindTLSHandshake:
 			f.TLSHandshakes++
+		case obs.KindTLSResume:
+			f.TLSResumed++
+		case obs.KindCertMemoHit:
+			f.CertMemoHits++
 		case obs.KindConnectFail:
 			f.ConnectFails++
 		case obs.KindStreamOpen:
@@ -97,6 +106,11 @@ func (f Funnel) TableString() string {
 	row("coalesce hits (reuse)", f.CoalesceHits)
 	row("421 fallbacks", f.Misdirected421)
 	row("retries", f.Retries)
+	if f.DNSCacheHits > 0 || f.TLSResumed > 0 || f.CertMemoHits > 0 {
+		row("DNS cache hits", f.DNSCacheHits)
+		row("TLS resumptions", f.TLSResumed)
+		row("cert memo hits", f.CertMemoHits)
+	}
 	if f.StreamsOpened > 0 || f.OriginFrames > 0 {
 		row("H2 streams opened", f.StreamsOpened)
 		row("ORIGIN frames", f.OriginFrames)
