@@ -1,0 +1,113 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertViolation(t *testing.T, got []string, want string) {
+	t.Helper()
+	for _, v := range got {
+		if strings.Contains(v, want) {
+			return
+		}
+	}
+	t.Errorf("violations %q do not mention %q", got, want)
+}
+
+func TestCleanExchangeNoViolations(t *testing.T) {
+	c := NewFlowChecker("clean")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 1000)
+	c.FlowEvent("data", 1, 1000)
+	c.FlowEvent("add", 1, 1000)
+	c.FlowEvent("add", 0, 1000)
+	c.FlowEvent("recv", 0, 40000)
+	c.FlowEvent("recv_replenish", 0, 40000)
+	c.FlowEvent("close", 1, 0)
+	if got := c.CheckConservation(); len(got) != 0 {
+		t.Errorf("clean exchange produced violations: %q", got)
+	}
+	if c.WentNegative() {
+		t.Error("WentNegative without an initial-window shrink")
+	}
+}
+
+func TestOverReservationDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 65536) // one past the stream window
+	assertViolation(t, c.Check(), "exceeds stream 1 window")
+	assertViolation(t, c.Check(), "exceeds connection window")
+}
+
+func TestZeroByteTakeDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 0)
+	assertViolation(t, c.Check(), "must be at least 1")
+}
+
+func TestWindowOverflowDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("add", 0, 1<<31) // drives conn window past 2^31-1
+	assertViolation(t, c.Check(), "above 2^31-1")
+
+	c2 := NewFlowChecker("y")
+	c2.FlowEvent("open", 1, 65535)
+	c2.FlowEvent("add", 1, 1<<31)
+	assertViolation(t, c2.Check(), "stream 1 window")
+}
+
+func TestConservationMismatchDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 500)
+	c.FlowEvent("data", 1, 200) // 300 reserved bytes never written
+	c.FlowEvent("close", 1, 0)
+	if got := c.Check(); len(got) != 0 {
+		t.Errorf("continuous check flagged an under-write: %q", got)
+	}
+	assertViolation(t, c.CheckConservation(), "reserved 500 bytes but wrote 200")
+}
+
+func TestDataBeyondReservationDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 100)
+	c.FlowEvent("data", 1, 101)
+	assertViolation(t, c.Check(), "wrote 101 DATA bytes but reserved only 100")
+}
+
+func TestNegativeWindowLegalAndRecorded(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("open", 1, 65535)
+	c.FlowEvent("take", 1, 1000)
+	c.FlowEvent("set_initial", 0, 0) // stream window now -1000
+	if got := c.Check(); len(got) != 0 {
+		t.Errorf("legal §6.9.2 negative window flagged: %q", got)
+	}
+	if !c.WentNegative() {
+		t.Error("negative window not recorded")
+	}
+	// Credit restores the window; writing the reserved bytes conserves.
+	c.FlowEvent("add", 1, 1500)
+	c.FlowEvent("data", 1, 1000)
+	c.FlowEvent("close", 1, 0)
+	if got := c.CheckConservation(); len(got) != 0 {
+		t.Errorf("post-recovery violations: %q", got)
+	}
+}
+
+func TestRecvOverflowDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("recv", 0, 65536) // one past the receive window
+	assertViolation(t, c.Check(), "receive window driven to -1")
+}
+
+func TestUnknownOpDetected(t *testing.T) {
+	c := NewFlowChecker("x")
+	c.FlowEvent("warp", 9, 1)
+	assertViolation(t, c.Check(), `unknown flow event "warp"`)
+}

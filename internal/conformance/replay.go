@@ -1,0 +1,169 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"respectorigin/internal/core"
+	"respectorigin/internal/har"
+	"respectorigin/internal/obs"
+	"respectorigin/internal/report"
+	"respectorigin/internal/webgen"
+)
+
+// ReplayConfig parameterizes a determinism differential run.
+type ReplayConfig struct {
+	Sites   int   // corpus size per run
+	Seed    int64 // generator seed, fixed across all runs
+	Workers []int // worker counts to cross-check (e.g. 1, 4, 16)
+	Repeats int   // runs per worker count; minimum 1
+}
+
+// A Divergence pinpoints the first byte at which a run's artifact
+// differed from the baseline run.
+type Divergence struct {
+	Artifact string // "corpus", "trace", or "report"
+	Workers  int    // worker count of the diverging run
+	Repeat   int    // repeat index of the diverging run
+	Offset   int    // first differing byte offset
+	Detail   string // short context around the difference
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s diverged at byte %d (workers=%d repeat=%d): %s",
+		d.Artifact, d.Offset, d.Workers, d.Repeat, d.Detail)
+}
+
+// artifacts is one run's complete observable output.
+type artifacts struct {
+	corpus []byte // crawl NDJSON
+	trace  []byte // obs trace NDJSON
+	report []byte // analysis tables and headline
+}
+
+// RunReplay replays the seeded crawl once per (worker count, repeat)
+// pair and byte-compares every artifact against the first run. The
+// crawl pipeline promises output independent of both scheduling and
+// worker count; any nonzero result is a determinism bug.
+func RunReplay(cfg ReplayConfig) ([]Divergence, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4, 16}
+	}
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	var base *artifacts
+	var divs []Divergence
+	for _, w := range cfg.Workers {
+		for r := 0; r < cfg.Repeats; r++ {
+			got, err := runOnce(cfg.Sites, cfg.Seed, w)
+			if err != nil {
+				return nil, fmt.Errorf("run workers=%d repeat=%d: %w", w, r, err)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			for _, cmp := range []struct {
+				name       string
+				want, have []byte
+			}{
+				{"corpus", base.corpus, got.corpus},
+				{"trace", base.trace, got.trace},
+				{"report", base.report, got.report},
+			} {
+				if off, detail, same := firstDiff(cmp.want, cmp.have); !same {
+					divs = append(divs, Divergence{
+						Artifact: cmp.name, Workers: w, Repeat: r,
+						Offset: off, Detail: detail,
+					})
+				}
+			}
+		}
+	}
+	return divs, nil
+}
+
+// runOnce mirrors the cmd/crawl + cmd/report pipeline in memory: stream
+// the generated corpus to NDJSON while recording trace events, then
+// re-parse the NDJSON (exactly what the report command would read back)
+// and render the analysis.
+func runOnce(sites int, seed int64, workers int) (*artifacts, error) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = sites
+	cfg.Seed = seed
+	cfg.Workers = workers
+
+	var corpus bytes.Buffer
+	trace := obs.NewTrace()
+	sw := har.NewStreamWriter(&corpus)
+	if _, err := webgen.GenerateStream(cfg, func(p *har.Page) error {
+		core.EmitPageEvents(trace, p)
+		return sw.Write(p)
+	}); err != nil {
+		return nil, err
+	}
+	var traceOut bytes.Buffer
+	if err := trace.WriteNDJSON(&traceOut); err != nil {
+		return nil, err
+	}
+
+	pages, err := har.ReadJSON(bytes.NewReader(corpus.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	ds := &webgen.Dataset{Pages: pages, ASDB: webgen.RebuildASDB(pages)}
+	c := report.NewCorpusWorkers(ds, workers)
+	var rep bytes.Buffer
+	_, t1 := c.Table1(5)
+	rep.WriteString(t1)
+	_, t2 := c.Table2(10)
+	rep.WriteString(t2)
+	_, _, t3 := c.Table3()
+	rep.WriteString(t3)
+	_, f3 := c.Figure3()
+	rep.WriteString(f3)
+	_, hl := c.Headline()
+	rep.WriteString(hl)
+
+	return &artifacts{
+		corpus: append([]byte(nil), corpus.Bytes()...),
+		trace:  traceOut.Bytes(),
+		report: rep.Bytes(),
+	}, nil
+}
+
+// firstDiff locates the first differing byte and returns a short
+// context window around it from both sides.
+func firstDiff(want, have []byte) (off int, detail string, same bool) {
+	if bytes.Equal(want, have) {
+		return 0, "", true
+	}
+	n := len(want)
+	if len(have) < n {
+		n = len(have)
+	}
+	off = n
+	for i := 0; i < n; i++ {
+		if want[i] != have[i] {
+			off = i
+			break
+		}
+	}
+	ctx := func(b []byte) string {
+		lo, hi := off-20, off+20
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return fmt.Sprintf("%q", b[lo:hi])
+	}
+	if off == n {
+		detail = fmt.Sprintf("lengths differ: baseline %d bytes, run %d bytes", len(want), len(have))
+	} else {
+		detail = fmt.Sprintf("baseline %s vs run %s", ctx(want), ctx(have))
+	}
+	return off, detail, false
+}

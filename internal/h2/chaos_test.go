@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"respectorigin/internal/conformance"
 	"respectorigin/internal/faults"
 )
 
@@ -44,12 +45,23 @@ func assertNoH2Goroutines(t *testing.T) {
 }
 
 // startEchoServer serves one connection with a trivial handler and
-// returns the client half plus the server's done channel.
+// returns the client half plus the server's done channel. Unless the
+// caller installed its own FlowHook, the server runs under the
+// conformance invariant checker, verified at test cleanup.
 func startEchoServer(t *testing.T, srv *Server) (net.Conn, <-chan error) {
 	t.Helper()
 	if srv.Handler == nil {
 		srv.Handler = HandlerFunc(func(w *ResponseWriter, r *Request) {
 			_, _ = w.Write([]byte("ok:" + r.Path))
+		})
+	}
+	if srv.FlowHook == nil {
+		fc := conformance.NewFlowChecker("server")
+		srv.FlowHook = fc
+		t.Cleanup(func() {
+			for _, v := range fc.Check() {
+				t.Error(v)
+			}
 		})
 	}
 	clientEnd, serverEnd := net.Pipe()
@@ -320,10 +332,15 @@ func TestServerReadTimeout(t *testing.T) {
 // surface as request errors, never hangs or leaked goroutines.
 func TestChaosConnResetMidStream(t *testing.T) {
 	inj := faults.NewInjector(faults.Plan{ResetProb: 1}, 7)
+	clientCheck := conformance.NewFlowChecker("client")
+	serverCheck := conformance.NewFlowChecker("server")
 	body := strings.Repeat("x", 32<<10) // larger than the smallest budget
-	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
-		_, _ = w.Write([]byte(body))
-	})}
+	srv := &Server{
+		Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+			_, _ = w.Write([]byte(body))
+		}),
+		FlowHook: serverCheck,
+	}
 	clientEnd, serverEnd := net.Pipe()
 	done := make(chan error, 1)
 	go func() { done <- srv.ServeConn(serverEnd) }()
@@ -332,6 +349,7 @@ func TestChaosConnResetMidStream(t *testing.T) {
 	cc, err := NewClientConn(chaos, ClientConnOptions{
 		Origin:      "a.example",
 		ReadTimeout: 2 * time.Second,
+		FlowHook:    clientCheck,
 	})
 	if err != nil {
 		t.Fatalf("NewClientConn: %v", err)
@@ -351,6 +369,14 @@ func TestChaosConnResetMidStream(t *testing.T) {
 	assertNoH2Goroutines(t)
 	if hits, rolls := inj.Counts(faults.KindReset); hits == 0 || rolls == 0 {
 		t.Fatalf("injector counters not updated: hits=%d rolls=%d", hits, rolls)
+	}
+	// Even with the transport torn down mid-stream, the flow-control
+	// invariants must have held on both endpoints up to the failure.
+	for _, v := range clientCheck.Check() {
+		t.Error(v)
+	}
+	for _, v := range serverCheck.Check() {
+		t.Error(v)
 	}
 }
 

@@ -87,6 +87,11 @@ type ClientConnOptions struct {
 	// connection-level trace events (streams opened, ORIGIN frames
 	// received, GOAWAYs). Observation only; nil changes nothing.
 	Recorder obs.Recorder
+
+	// FlowHook, when non-nil, observes every flow-control transition on
+	// the connection (see FlowOp* constants). Used by the conformance
+	// invariant checker; nil changes nothing.
+	FlowHook FlowHook
 }
 
 // A ClientConn is the client side of an HTTP/2 connection. Its methods
@@ -160,6 +165,8 @@ func NewClientConn(nc net.Conn, opts ClientConnOptions) (*ClientConn, error) {
 		pingWait:       make(map[[8]byte]chan struct{}),
 		readerDone:     make(chan struct{}),
 	}
+	cc.sendFlow.hook = opts.FlowHook
+	cc.recvFlow.hook = opts.FlowHook
 	cc.hw = &headerWriter{fr: cc.fr, enc: hpack.NewEncoder(), maxFrameSize: minMaxFrameSize}
 	if opts.DisableHuffman {
 		cc.hw.enc.SetHuffman(false)
@@ -332,6 +339,7 @@ func (cc *ClientConn) writeBody(cs *clientStream, body []byte) error {
 		if err := cc.fr.WriteData(cs.id, end, body[:n]); err != nil {
 			return err
 		}
+		cc.sendFlow.noteData(cs.id, n)
 		body = body[n:]
 		if end {
 			return nil

@@ -1,11 +1,13 @@
 package h2
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"respectorigin/internal/conformance"
 	"respectorigin/internal/faults"
 	"respectorigin/internal/obs"
 )
@@ -23,8 +25,14 @@ func TestChaosRecorderWiring(t *testing.T) {
 	rec := obs.Multi(metrics, trace)
 
 	const pairs = 6
+	// One invariant checker per connection endpoint: under fault injection
+	// the continuous flow-control invariants must still hold on both sides.
+	checkers := make([]*conformance.FlowChecker, 0, pairs*2)
 	var wg sync.WaitGroup
 	for i := 0; i < pairs; i++ {
+		clientCheck := conformance.NewFlowChecker(fmt.Sprintf("pair %d client", i))
+		serverCheck := conformance.NewFlowChecker(fmt.Sprintf("pair %d server", i))
+		checkers = append(checkers, clientCheck, serverCheck)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -34,6 +42,7 @@ func TestChaosRecorderWiring(t *testing.T) {
 				}),
 				OriginSet: []string{"a.example", "b.example"},
 				Recorder:  rec,
+				FlowHook:  serverCheck,
 			}
 			clientEnd, serverEnd := net.Pipe()
 			done := make(chan error, 1)
@@ -50,6 +59,7 @@ func TestChaosRecorderWiring(t *testing.T) {
 				Origin:      "a.example",
 				ReadTimeout: 2 * time.Second,
 				Recorder:    rec,
+				FlowHook:    clientCheck,
 			})
 			if err != nil {
 				_ = serverEnd.Close()
@@ -68,6 +78,12 @@ func TestChaosRecorderWiring(t *testing.T) {
 	}
 	wg.Wait()
 	assertNoH2Goroutines(t)
+
+	for _, fc := range checkers {
+		for _, v := range fc.Check() {
+			t.Error(v)
+		}
+	}
 
 	// Connection counters fire before any fault can interfere.
 	if got := metrics.Get("h2.client.conns"); got != pairs {

@@ -100,6 +100,11 @@ type Server struct {
 	// connection-level trace events (origin frames sent, GOAWAYs, 421s).
 	// Observation only; a nil recorder changes nothing.
 	Recorder obs.Recorder
+
+	// FlowHook, when non-nil, observes every flow-control transition on
+	// each served connection (see FlowOp* constants). Used by the
+	// conformance invariant checker; nil changes nothing.
+	FlowHook FlowHook
 }
 
 // ConnCounters aggregates per-connection observability counters.
@@ -163,6 +168,8 @@ func (s *Server) serveConn(nc net.Conn, stopCh <-chan struct{}) (*serverConn, er
 		recvFlow:     newRecvFlow(),
 		maxSendFrame: minMaxFrameSize,
 	}
+	sc.sendFlow.hook = s.FlowHook
+	sc.recvFlow.hook = s.FlowHook
 	sc.hw = &headerWriter{fr: sc.fr, enc: hpack.NewEncoder(), maxFrameSize: minMaxFrameSize}
 	if s.DisableHuffman {
 		sc.hw.enc.SetHuffman(false)
@@ -654,6 +661,7 @@ func (w *ResponseWriter) Write(p []byte) (int, error) {
 			w.err = err
 			return total, err
 		}
+		w.sc.sendFlow.noteData(w.streamID, n)
 		total += int(n)
 		p = p[n:]
 	}

@@ -12,7 +12,8 @@ type Decoder struct {
 	// i.e. the value this endpoint advertised in SETTINGS.
 	maxAllowed uint32
 
-	// maxStringLen bounds individual decoded strings; 0 means no bound.
+	// maxStringLen bounds individual decoded strings; 0 means the
+	// package-wide DefaultMaxStringLength, never "unbounded".
 	maxStringLen uint64
 }
 
@@ -26,7 +27,7 @@ func NewDecoder() *Decoder {
 }
 
 // SetMaxStringLength bounds the length of any single decoded name or
-// value. Zero removes the bound.
+// value. Zero restores the DefaultMaxStringLength bound.
 func (d *Decoder) SetMaxStringLength(n uint64) { d.maxStringLen = n }
 
 // SetAllowedMaxDynamicTableSize sets the limit this endpoint advertised

@@ -27,6 +27,11 @@ func NewEncoder() *Encoder {
 	return &Encoder{
 		dt:         newDynamicTable(DefaultDynamicTableSize),
 		useHuffman: true,
+		// minSize tracks the lowest capacity since the last emitted
+		// update. Starting it at the current capacity (not zero) keeps a
+		// capacity *increase* from emitting a spurious shrink-to-zero
+		// update that would flush the peer decoder's dynamic table.
+		minSize: DefaultDynamicTableSize,
 	}
 }
 

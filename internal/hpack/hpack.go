@@ -87,8 +87,15 @@ func appendVarInt(dst []byte, n uint8, first byte, i uint64) []byte {
 	return append(dst, byte(i))
 }
 
+// maxVarInt bounds decoded prefix integers. Indices, string lengths and
+// table sizes all fit in 32 bits; RFC 7541 §5.1 explicitly allows
+// implementations to set a limit on accepted integer values.
+const maxVarInt = 1<<32 - 1
+
 // readVarInt decodes an n-bit-prefix integer from buf. It returns the
-// value and the remaining bytes.
+// value and the remaining bytes. Values above maxVarInt — including
+// continuation sequences long enough to wrap a uint64 accumulator — are
+// ErrIntegerOverflow.
 func readVarInt(buf []byte, n uint8) (uint64, []byte, error) {
 	if len(buf) == 0 {
 		return 0, nil, ErrTruncated
@@ -106,17 +113,20 @@ func readVarInt(buf []byte, n uint8) (uint64, []byte, error) {
 		}
 		b := buf[0]
 		buf = buf[1:]
+		// Five continuation octets already cover 2^35 > maxVarInt; a
+		// sixth can only overflow (or, at larger shifts, wrap uint64),
+		// so reject it before touching the accumulator.
+		if shift > 28 {
+			return 0, nil, ErrIntegerOverflow
+		}
 		i += uint64(b&0x7f) << shift
-		if i > 1<<32 {
+		if i > maxVarInt {
 			return 0, nil, ErrIntegerOverflow
 		}
 		if b&0x80 == 0 {
 			return i, buf, nil
 		}
 		shift += 7
-		if shift > 62 {
-			return 0, nil, ErrIntegerOverflow
-		}
 	}
 }
 
@@ -134,10 +144,20 @@ func appendString(dst []byte, s string, huffman bool) []byte {
 	return append(dst, s...)
 }
 
+// DefaultMaxStringLength bounds a single decoded string when the
+// decoder's owner did not set an explicit limit. A header block larger
+// than this is cut off at the HTTP/2 layer anyway (ENHANCE_YOUR_CALM),
+// so an unconfigured decoder should never expand further than this —
+// it keeps a hostile Huffman literal from ballooning unchecked.
+const DefaultMaxStringLength = 1 << 20
+
 // readString decodes a §5.2 string literal, applying Huffman decoding
-// when the H bit is set. maxLen bounds the decoded length; zero means
-// unbounded.
+// when the H bit is set. maxLen bounds the decoded length; zero applies
+// DefaultMaxStringLength rather than no bound at all.
 func readString(buf []byte, maxLen uint64) (string, []byte, error) {
+	if maxLen == 0 {
+		maxLen = DefaultMaxStringLength
+	}
 	if len(buf) == 0 {
 		return "", nil, ErrTruncated
 	}
@@ -152,7 +172,7 @@ func readString(buf []byte, maxLen uint64) (string, []byte, error) {
 	raw := rest[:n]
 	rest = rest[n:]
 	if !huff {
-		if maxLen > 0 && n > maxLen {
+		if n > maxLen {
 			return "", nil, ErrStringLength
 		}
 		return string(raw), rest, nil

@@ -119,10 +119,13 @@ func AppendHuffmanString(dst []byte, s string) []byte {
 }
 
 // HuffmanDecode decodes Huffman-coded data. maxLen bounds the decoded
-// length (0 means unbounded). Per RFC 7541 §5.2 a padding longer than
-// 7 bits, a padding that is not the EOS prefix, or an incomplete code is
-// a decoding error.
+// length (0 means DefaultMaxStringLength). Per RFC 7541 §5.2 a padding
+// longer than 7 bits, a padding that is not the EOS prefix, or an
+// incomplete code is a decoding error.
 func HuffmanDecode(data []byte, maxLen uint64) (string, error) {
+	if maxLen == 0 {
+		maxLen = DefaultMaxStringLength
+	}
 	var out []byte
 	n := huffmanRoot
 	depth := 0      // bits consumed within the current code
@@ -140,7 +143,7 @@ func HuffmanDecode(data []byte, maxLen uint64) (string, error) {
 			depth++
 			if n.leaf {
 				out = append(out, n.sym)
-				if maxLen > 0 && uint64(len(out)) > maxLen {
+				if uint64(len(out)) > maxLen {
 					return "", ErrStringLength
 				}
 				n = huffmanRoot
