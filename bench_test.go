@@ -656,6 +656,7 @@ func BenchmarkAblationH1VsH2(b *testing.B) {
 		go srv.ServeConn(sn)
 		client := h1.NewClient(cn)
 		defer client.Close()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < requests; r++ {
@@ -678,6 +679,7 @@ func BenchmarkAblationH1VsH2(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer cc.Close()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			var wg sync.WaitGroup

@@ -1,0 +1,162 @@
+// Command bench runs the repo's benchmark trajectory harness.
+//
+// Run mode measures the registered suites and writes a machine-readable
+// trajectory file (the committed BENCH_*.json series):
+//
+//	go run ./cmd/bench -suite micro -short -out /tmp/bench.json
+//
+// Compare mode diffs two trajectory files and exits non-zero on
+// regression — CI runs it against the committed baseline:
+//
+//	go run ./cmd/bench -compare BENCH_6.json /tmp/bench.json
+//
+// Rules: a gated (hot path) benchmark fails on ns/op beyond -threshold
+// and on any allocs/op increase; non-gated ns/op swings are reported as
+// notes; a baseline entry missing from the new run fails; a malformed
+// or missing baseline file fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"respectorigin/internal/bench"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list registered suites and benchmarks, then exit")
+		suite     = flag.String("suite", "all", "comma-separated suites to run (\"micro\" = all per-package suites, \"all\" = everything)")
+		short     = flag.Bool("short", false, "quick mode: ~50ms per benchmark instead of ~1s")
+		benchtime = flag.String("benchtime", "", "explicit benchtime (e.g. 100ms, 200x); overrides -short")
+		out       = flag.String("out", "", "write results JSON to this path (default: stdout)")
+		compare   = flag.Bool("compare", false, "compare mode: bench -compare old.json new.json")
+		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative ns/op increase tolerated in -compare")
+	)
+	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *suite, *threshold))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bench: unexpected arguments %v (did you mean -compare old.json new.json?)\n", flag.Args())
+		os.Exit(2)
+	}
+	if *list {
+		for _, bm := range bench.All() {
+			gate := ""
+			if bm.Gated {
+				gate = "  [gated: allocs/op compared strictly]"
+			}
+			fmt.Printf("%s%s\n", bm.ID(), gate)
+		}
+		return
+	}
+
+	// testing.Benchmark honors -test.benchtime once testing.Init has
+	// registered the flags; that is how a plain binary prices its runs.
+	testing.Init()
+	bt := "1s"
+	if *short {
+		bt = "50ms"
+	}
+	if *benchtime != "" {
+		bt = *benchtime
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", bt, err)
+		os.Exit(2)
+	}
+
+	bms, err := bench.Select(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	if len(bms) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmarks selected")
+		os.Exit(2)
+	}
+
+	f := bench.Run(bms, func(r bench.Result) {
+		line := fmt.Sprintf("%-48s %12.1f ns/op %8d B/op %6d allocs/op",
+			r.ID(), r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.MBPerS > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", r.MBPerS)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	})
+
+	if *out == "" {
+		raw, err := jsonIndent(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	if err := bench.Write(*out, f); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(f.Benchmarks), *out)
+}
+
+func runCompare(args []string, suite string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two files: old.json new.json")
+		return 2
+	}
+	old, err := bench.Load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := bench.Load(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: new results: %v\n", err)
+		return 2
+	}
+	if old, err = bench.Filter(old, suite); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: baseline: %v\n", err)
+		return 2
+	}
+	if cur, err = bench.Filter(cur, suite); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: new results: %v\n", err)
+		return 2
+	}
+	findings := bench.Compare(old, cur, threshold)
+	fatal := 0
+	for _, f := range findings {
+		tag := "note"
+		if f.Fatal {
+			tag = "FAIL"
+			fatal++
+		}
+		fmt.Printf("%s  %-16s %-44s %s\n", tag, f.Kind, f.ID, f.Detail)
+	}
+	if fatal > 0 {
+		fmt.Printf("bench: %d regression(s) against %s\n", fatal, args[0])
+		return 1
+	}
+	fmt.Printf("bench: no regressions against %s (%d baseline benchmarks, threshold %.0f%%)\n",
+		args[0], len(old.Benchmarks), threshold*100)
+	return 0
+}
+
+func jsonIndent(f bench.File) ([]byte, error) {
+	// bench.Write owns file output; stdout goes through the same schema.
+	tmp, err := os.CreateTemp("", "bench*.json")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	tmp.Close()
+	if err := bench.Write(tmp.Name(), f); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(tmp.Name())
+}

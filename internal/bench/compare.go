@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// DefaultThreshold is the relative ns/op increase tolerated before a
+// benchmark counts as regressed. Wall-time measurements are noisy;
+// allocs/op on gated benchmarks is exact and tolerates nothing.
+const DefaultThreshold = 0.20
+
+// A Finding is one comparison outcome worth reporting.
+type Finding struct {
+	ID     string
+	Kind   string // "ns_regression", "allocs_regression", "missing", "improvement"
+	Detail string
+	Fatal  bool
+}
+
+// Load reads and validates a trajectory file. Any structural problem —
+// unreadable file, bad JSON, wrong schema, empty benchmark list — is an
+// error, so a malformed or missing baseline can never pass as a clean
+// comparison.
+func Load(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if f.Schema != SchemaV1 {
+		return f, fmt.Errorf("bench: %s has schema %q, want %q", path, f.Schema, SchemaV1)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("bench: %s contains no benchmarks", path)
+	}
+	return f, nil
+}
+
+// Write serializes a trajectory file with stable indentation.
+func Write(path string, f File) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Filter returns a copy of f keeping only benchmarks whose suite the
+// selector matches (same syntax as Select). It lets CI compare a
+// micro-only run against a full committed baseline without the absent
+// pipeline entries reading as dropped gates.
+func Filter(f File, suite string) (File, error) {
+	if suite == "" || suite == "all" {
+		return f, nil
+	}
+	want := map[string]bool{}
+	for _, s := range strings.Split(suite, ",") {
+		if s == "micro" {
+			for _, m := range MicroSuites {
+				want[m] = true
+			}
+			continue
+		}
+		want[s] = true
+	}
+	out := f
+	out.Benchmarks = nil
+	for _, r := range f.Benchmarks {
+		if want[r.Suite] {
+			out.Benchmarks = append(out.Benchmarks, r)
+		}
+	}
+	if len(out.Benchmarks) == 0 {
+		return out, fmt.Errorf("bench: suite filter %q matches no benchmarks", suite)
+	}
+	return out, nil
+}
+
+// Compare evaluates new results against a baseline. Rules:
+//
+//   - on a gated (hot path) benchmark, ns/op above old*(1+threshold) is
+//     a fatal regression, and any allocs/op increase is fatal regardless
+//     of threshold — those paths are budgeted to exact counts.
+//   - on non-gated benchmarks, ns/op swings beyond the threshold are
+//     reported as notes: the heavyweight end-to-end measurements are too
+//     noisy to gate CI on, but the trajectory still wants them visible.
+//   - a baseline benchmark missing from the new run is fatal: silently
+//     dropping a gate must not read as a pass.
+//   - benchmarks new in this run are informational only.
+//
+// Improvements beyond the threshold are reported so the trajectory
+// narrative in EXPERIMENTS.md can cite them.
+func Compare(old, cur File, threshold float64) []Finding {
+	curByID := map[string]Result{}
+	for _, r := range cur.Benchmarks {
+		curByID[r.ID()] = r
+	}
+	var out []Finding
+	for _, o := range old.Benchmarks {
+		n, ok := curByID[o.ID()]
+		if !ok {
+			out = append(out, Finding{
+				ID: o.ID(), Kind: "missing", Fatal: true,
+				Detail: "present in baseline but not in new results",
+			})
+			continue
+		}
+		gated := o.Gated || n.Gated
+		if gated && n.AllocsPerOp > o.AllocsPerOp {
+			out = append(out, Finding{
+				ID: o.ID(), Kind: "allocs_regression", Fatal: true,
+				Detail: fmt.Sprintf("allocs/op %d -> %d (gated: any increase fails)",
+					o.AllocsPerOp, n.AllocsPerOp),
+			})
+		}
+		if o.NsPerOp > 0 {
+			ratio := n.NsPerOp / o.NsPerOp
+			switch {
+			case ratio > 1+threshold:
+				out = append(out, Finding{
+					ID: o.ID(), Kind: "ns_regression", Fatal: gated,
+					Detail: fmt.Sprintf("ns/op %.1f -> %.1f (%+.1f%%, threshold %.0f%%)",
+						o.NsPerOp, n.NsPerOp, (ratio-1)*100, threshold*100),
+				})
+			case ratio < 1-threshold:
+				out = append(out, Finding{
+					ID: o.ID(), Kind: "improvement",
+					Detail: fmt.Sprintf("ns/op %.1f -> %.1f (%+.1f%%)",
+						o.NsPerOp, n.NsPerOp, (ratio-1)*100),
+				})
+			}
+		}
+	}
+	return out
+}

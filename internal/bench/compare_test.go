@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fileWith(results ...Result) File {
+	return File{Schema: SchemaV1, Benchmarks: results}
+}
+
+func findingKinds(fs []Finding) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range fs {
+		out[f.ID+":"+f.Kind] = true
+	}
+	return out
+}
+
+func TestCompareGatedAllocsRegression(t *testing.T) {
+	old := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 100, AllocsPerOp: 0})
+	cur := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 100, AllocsPerOp: 1})
+	fs := Compare(old, cur, DefaultThreshold)
+	if len(fs) != 1 || fs[0].Kind != "allocs_regression" || !fs[0].Fatal {
+		t.Fatalf("findings = %+v, want one fatal allocs_regression", fs)
+	}
+}
+
+func TestCompareGatedNsRegressionIsFatal(t *testing.T) {
+	old := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 100})
+	cur := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 130})
+	fs := Compare(old, cur, 0.20)
+	if len(fs) != 1 || fs[0].Kind != "ns_regression" || !fs[0].Fatal {
+		t.Fatalf("findings = %+v, want one fatal ns_regression", fs)
+	}
+}
+
+func TestCompareUngatedNsRegressionIsNote(t *testing.T) {
+	old := fileWith(Result{Suite: "pipeline", Name: "E2E", NsPerOp: 100})
+	cur := fileWith(Result{Suite: "pipeline", Name: "E2E", NsPerOp: 200})
+	fs := Compare(old, cur, 0.20)
+	if len(fs) != 1 || fs[0].Kind != "ns_regression" || fs[0].Fatal {
+		t.Fatalf("findings = %+v, want one non-fatal ns_regression", fs)
+	}
+}
+
+func TestCompareWithinThresholdAndImprovement(t *testing.T) {
+	old := fileWith(
+		Result{Suite: "h2", Name: "A", Gated: true, NsPerOp: 100, AllocsPerOp: 2},
+		Result{Suite: "h2", Name: "B", NsPerOp: 100},
+	)
+	cur := fileWith(
+		Result{Suite: "h2", Name: "A", Gated: true, NsPerOp: 115, AllocsPerOp: 2}, // within 20%
+		Result{Suite: "h2", Name: "B", NsPerOp: 50},                               // improvement
+	)
+	fs := Compare(old, cur, 0.20)
+	kinds := findingKinds(fs)
+	if len(fs) != 1 || !kinds["h2/B:improvement"] {
+		t.Fatalf("findings = %+v, want only h2/B improvement", fs)
+	}
+}
+
+func TestCompareMissingBenchmarkIsFatal(t *testing.T) {
+	old := fileWith(Result{Suite: "h2", Name: "Gone", Gated: true, NsPerOp: 10})
+	cur := fileWith(Result{Suite: "h2", Name: "Other", NsPerOp: 10})
+	fs := Compare(old, cur, 0.20)
+	if len(fs) != 1 || fs[0].Kind != "missing" || !fs[0].Fatal {
+		t.Fatalf("findings = %+v, want one fatal missing", fs)
+	}
+}
+
+func TestCompareAllocsImprovementAllowed(t *testing.T) {
+	old := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 100, AllocsPerOp: 3})
+	cur := fileWith(Result{Suite: "h2", Name: "Read", Gated: true, NsPerOp: 100, AllocsPerOp: 0})
+	if fs := Compare(old, cur, 0.20); len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none for an allocs improvement", fs)
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-json.json":   `{"schema": nope`,
+		"bad-schema.json": `{"schema":"other/9","benchmarks":[{"suite":"a","name":"b"}]}`,
+		"empty.json":      `{"schema":"respectorigin-bench/1","benchmarks":[]}`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("Load(%s) accepted a malformed baseline", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "does-not-exist.json")); err == nil {
+		t.Error("Load accepted a missing baseline")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bench.json")
+	want := File{
+		Schema: SchemaV1, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4,
+		Benchmarks: []Result{{Suite: "h2", Name: "Read", Gated: true, N: 10, NsPerOp: 12.5, AllocsPerOp: 0, MBPerS: 3.25}},
+	}
+	if err := Write(p, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0] != want.Benchmarks[0] || got.GOMAXPROCS != 4 {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := fileWith(
+		Result{Suite: "hpack", Name: "A"},
+		Result{Suite: "h2", Name: "B"},
+		Result{Suite: "pipeline", Name: "C"},
+	)
+	micro, err := Filter(f, "micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(micro.Benchmarks) != 2 {
+		t.Fatalf("micro filter kept %d benchmarks, want 2", len(micro.Benchmarks))
+	}
+	if _, err := Filter(f, "nosuch"); err == nil {
+		t.Error("Filter accepted a selector matching nothing")
+	}
+	all, err := Filter(f, "all")
+	if err != nil || len(all.Benchmarks) != 3 {
+		t.Fatalf("all filter = %d benchmarks, %v", len(all.Benchmarks), err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	micro, err := Select("micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bm := range micro {
+		if bm.Suite == "pipeline" {
+			t.Fatalf("micro selection included pipeline benchmark %s", bm.ID())
+		}
+	}
+	if _, err := Select("bogus"); err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("Select(bogus) err = %v, want unknown suite", err)
+	}
+	all, err := Select("all")
+	if err != nil || len(all) <= len(micro) {
+		t.Fatalf("Select(all) = %d benchmarks (micro %d), err %v", len(all), len(micro), err)
+	}
+	ids := map[string]bool{}
+	for _, bm := range all {
+		if ids[bm.ID()] {
+			t.Fatalf("duplicate benchmark ID %s", bm.ID())
+		}
+		ids[bm.ID()] = true
+	}
+}

@@ -91,7 +91,7 @@ func TestParserNeverPanics(t *testing.T) {
 			StreamID: stream & (1<<31 - 1),
 			Length:   uint32(len(payload)),
 		}
-		_, _ = parseFrame(hdr, payload)
+		_, _ = parseFrame(nil, hdr, payload)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

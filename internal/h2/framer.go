@@ -17,6 +17,7 @@ import (
 type Framer struct {
 	r    io.Reader
 	rbuf []byte
+	fc   frameCache
 
 	wmu  sync.Mutex
 	w    io.Writer
@@ -83,7 +84,18 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 		return nil, connError(ErrCodeFrameSize, fmt.Sprintf("frame of %d bytes exceeds SETTINGS_MAX_FRAME_SIZE", hdr.Length))
 	}
 	if cap(fr.rbuf) < int(hdr.Length) {
-		fr.rbuf = make([]byte, hdr.Length)
+		// Grow-and-reuse: at least double so a run of growing frames
+		// settles after O(log n) allocations, clamped to the advertised
+		// maximum so one connection never holds more than it could need.
+		newCap := 2 * cap(fr.rbuf)
+		if newCap < int(hdr.Length) {
+			newCap = int(hdr.Length)
+		}
+		if limit := int(fr.maxReadSize) + frameHeaderLen; newCap > limit {
+			newCap = limit
+		}
+		putBuf(fr.rbuf)
+		fr.rbuf = getBuf(newCap)
 	}
 	payload := fr.rbuf[:hdr.Length]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
@@ -92,37 +104,162 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 		}
 		return nil, err
 	}
-	return parseFrame(hdr, payload)
+	return parseFrame(&fr.fc, hdr, payload)
 }
 
-func parseFrame(hdr FrameHeader, p []byte) (Frame, error) {
+// frameCache holds one reusable frame value per type. Returned frames
+// already alias the Framer's read buffer and are documented as valid
+// only until the next ReadFrame call, so handing back the same struct
+// (fully overwritten) makes the steady-state read path allocation-free.
+// A nil *frameCache makes every parse function allocate fresh frames.
+type frameCache struct {
+	data         DataFrame
+	headers      HeadersFrame
+	priority     PriorityFrame
+	rstStream    RSTStreamFrame
+	settings     SettingsFrame
+	pushPromise  PushPromiseFrame
+	ping         PingFrame
+	goAway       GoAwayFrame
+	windowUpdate WindowUpdateFrame
+	continuation ContinuationFrame
+	altSvc       AltSvcFrame
+	origin       OriginFrame
+	unknown      UnknownFrame
+}
+
+// The getters allocate only on the nil (uncached) path; keeping the
+// composite literal inside the branch is what lets escape analysis keep
+// the cached path allocation-free.
+func (fc *frameCache) getDataFrame() *DataFrame {
+	if fc == nil {
+		return &DataFrame{}
+	}
+	return &fc.data
+}
+
+func (fc *frameCache) getHeadersFrame() *HeadersFrame {
+	if fc == nil {
+		return &HeadersFrame{}
+	}
+	return &fc.headers
+}
+
+func (fc *frameCache) getPriorityFrame() *PriorityFrame {
+	if fc == nil {
+		return &PriorityFrame{}
+	}
+	return &fc.priority
+}
+
+func (fc *frameCache) getRSTStreamFrame() *RSTStreamFrame {
+	if fc == nil {
+		return &RSTStreamFrame{}
+	}
+	return &fc.rstStream
+}
+
+func (fc *frameCache) getSettingsFrame() *SettingsFrame {
+	if fc == nil {
+		return &SettingsFrame{}
+	}
+	return &fc.settings
+}
+
+func (fc *frameCache) getPushPromiseFrame() *PushPromiseFrame {
+	if fc == nil {
+		return &PushPromiseFrame{}
+	}
+	return &fc.pushPromise
+}
+
+func (fc *frameCache) getPingFrame() *PingFrame {
+	if fc == nil {
+		return &PingFrame{}
+	}
+	return &fc.ping
+}
+
+func (fc *frameCache) getGoAwayFrame() *GoAwayFrame {
+	if fc == nil {
+		return &GoAwayFrame{}
+	}
+	return &fc.goAway
+}
+
+func (fc *frameCache) getWindowUpdateFrame() *WindowUpdateFrame {
+	if fc == nil {
+		return &WindowUpdateFrame{}
+	}
+	return &fc.windowUpdate
+}
+
+func (fc *frameCache) getContinuationFrame() *ContinuationFrame {
+	if fc == nil {
+		return &ContinuationFrame{}
+	}
+	return &fc.continuation
+}
+
+func (fc *frameCache) getAltSvcFrame() *AltSvcFrame {
+	if fc == nil {
+		return &AltSvcFrame{}
+	}
+	return &fc.altSvc
+}
+
+func (fc *frameCache) getOriginFrame() *OriginFrame {
+	if fc == nil {
+		return &OriginFrame{}
+	}
+	return &fc.origin
+}
+
+func (fc *frameCache) getUnknownFrame() *UnknownFrame {
+	if fc == nil {
+		return &UnknownFrame{}
+	}
+	return &fc.unknown
+}
+
+func parseFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	switch hdr.Type {
 	case FrameData:
-		return parseDataFrame(hdr, p)
+		return parseDataFrame(fc, hdr, p)
 	case FrameHeaders:
-		return parseHeadersFrame(hdr, p)
+		return parseHeadersFrame(fc, hdr, p)
 	case FramePriority:
-		return parsePriorityFrame(hdr, p)
+		return parsePriorityFrame(fc, hdr, p)
 	case FrameRSTStream:
-		return parseRSTStreamFrame(hdr, p)
+		return parseRSTStreamFrame(fc, hdr, p)
 	case FrameSettings:
-		return parseSettingsFrame(hdr, p)
+		return parseSettingsFrame(fc, hdr, p)
 	case FramePushPromise:
-		return parsePushPromiseFrame(hdr, p)
+		return parsePushPromiseFrame(fc, hdr, p)
 	case FramePing:
-		return parsePingFrame(hdr, p)
+		return parsePingFrame(fc, hdr, p)
 	case FrameGoAway:
-		return parseGoAwayFrame(hdr, p)
+		return parseGoAwayFrame(fc, hdr, p)
 	case FrameWindowUpdate:
-		return parseWindowUpdateFrame(hdr, p)
+		return parseWindowUpdateFrame(fc, hdr, p)
 	case FrameContinuation:
-		return &ContinuationFrame{FrameHeader: hdr, BlockFragment: p}, nil
+		f := &ContinuationFrame{}
+		if fc != nil {
+			f = &fc.continuation
+		}
+		*f = ContinuationFrame{FrameHeader: hdr, BlockFragment: p}
+		return f, nil
 	case FrameAltSvc:
-		return parseAltSvcFrame(hdr, p)
+		return parseAltSvcFrame(fc, hdr, p)
 	case FrameOrigin:
-		return parseOriginFrame(hdr, p)
+		return parseOriginFrame(fc, hdr, p)
 	default:
-		return &UnknownFrame{FrameHeader: hdr, Payload: p}, nil
+		f := &UnknownFrame{}
+		if fc != nil {
+			f = &fc.unknown
+		}
+		*f = UnknownFrame{FrameHeader: hdr, Payload: p}
+		return f, nil
 	}
 }
 
@@ -142,7 +279,7 @@ func stripPadding(hdr FrameHeader, p []byte) ([]byte, error) {
 	return p[:len(p)-padLen], nil
 }
 
-func parseDataFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseDataFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, connError(ErrCodeProtocol, "DATA on stream 0")
 	}
@@ -150,10 +287,12 @@ func parseDataFrame(hdr FrameHeader, p []byte) (Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DataFrame{FrameHeader: hdr, Data: data}, nil
+	f := fc.getDataFrame()
+	*f = DataFrame{FrameHeader: hdr, Data: data}
+	return f, nil
 }
 
-func parseHeadersFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseHeadersFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, connError(ErrCodeProtocol, "HEADERS on stream 0")
 	}
@@ -161,7 +300,8 @@ func parseHeadersFrame(hdr FrameHeader, p []byte) (Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &HeadersFrame{FrameHeader: hdr}
+	f := fc.getHeadersFrame()
+	*f = HeadersFrame{FrameHeader: hdr}
 	if hdr.Flags.Has(FlagPriority) {
 		if len(p) < 5 {
 			return nil, connError(ErrCodeProtocol, "HEADERS priority fields truncated")
@@ -178,7 +318,7 @@ func parseHeadersFrame(hdr FrameHeader, p []byte) (Frame, error) {
 	return f, nil
 }
 
-func parsePriorityFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parsePriorityFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, connError(ErrCodeProtocol, "PRIORITY on stream 0")
 	}
@@ -186,40 +326,46 @@ func parsePriorityFrame(hdr FrameHeader, p []byte) (Frame, error) {
 		return nil, streamError(hdr.StreamID, ErrCodeFrameSize, "PRIORITY payload must be 5 bytes")
 	}
 	dep := binary.BigEndian.Uint32(p[:4])
-	return &PriorityFrame{
+	f := fc.getPriorityFrame()
+	*f = PriorityFrame{
 		FrameHeader: hdr,
 		PriorityParam: PriorityParam{
 			StreamDep: dep & (1<<31 - 1),
 			Exclusive: dep>>31 == 1,
 			Weight:    p[4],
 		},
-	}, nil
+	}
+	return f, nil
 }
 
-func parseRSTStreamFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseRSTStreamFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, connError(ErrCodeProtocol, "RST_STREAM on stream 0")
 	}
 	if len(p) != 4 {
 		return nil, connError(ErrCodeFrameSize, "RST_STREAM payload must be 4 bytes")
 	}
-	return &RSTStreamFrame{FrameHeader: hdr, ErrCode: ErrCode(binary.BigEndian.Uint32(p))}, nil
+	f := fc.getRSTStreamFrame()
+	*f = RSTStreamFrame{FrameHeader: hdr, ErrCode: ErrCode(binary.BigEndian.Uint32(p))}
+	return f, nil
 }
 
-func parseSettingsFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseSettingsFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, connError(ErrCodeProtocol, "SETTINGS on non-zero stream")
 	}
+	f := fc.getSettingsFrame()
+	settings := f.Settings[:0] // keep the cached frame's slice capacity
+	*f = SettingsFrame{FrameHeader: hdr}
 	if hdr.Flags.Has(FlagAck) {
 		if len(p) != 0 {
 			return nil, connError(ErrCodeFrameSize, "SETTINGS ack with payload")
 		}
-		return &SettingsFrame{FrameHeader: hdr}, nil
+		return f, nil
 	}
 	if len(p)%6 != 0 {
 		return nil, connError(ErrCodeFrameSize, "SETTINGS payload not a multiple of 6")
 	}
-	f := &SettingsFrame{FrameHeader: hdr}
 	for i := 0; i < len(p); i += 6 {
 		s := Setting{
 			ID:  SettingID(binary.BigEndian.Uint16(p[i : i+2])),
@@ -228,12 +374,13 @@ func parseSettingsFrame(hdr FrameHeader, p []byte) (Frame, error) {
 		if err := s.Valid(); err != nil {
 			return nil, err
 		}
-		f.Settings = append(f.Settings, s)
+		settings = append(settings, s)
 	}
+	f.Settings = settings
 	return f, nil
 }
 
-func parsePushPromiseFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parsePushPromiseFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, connError(ErrCodeProtocol, "PUSH_PROMISE on stream 0")
 	}
@@ -244,41 +391,46 @@ func parsePushPromiseFrame(hdr FrameHeader, p []byte) (Frame, error) {
 	if len(p) < 4 {
 		return nil, connError(ErrCodeFrameSize, "PUSH_PROMISE truncated")
 	}
-	return &PushPromiseFrame{
+	f := fc.getPushPromiseFrame()
+	*f = PushPromiseFrame{
 		FrameHeader:   hdr,
 		PromiseID:     binary.BigEndian.Uint32(p[:4]) & (1<<31 - 1),
 		BlockFragment: p[4:],
-	}, nil
+	}
+	return f, nil
 }
 
-func parsePingFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parsePingFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, connError(ErrCodeProtocol, "PING on non-zero stream")
 	}
 	if len(p) != 8 {
 		return nil, connError(ErrCodeFrameSize, "PING payload must be 8 bytes")
 	}
-	f := &PingFrame{FrameHeader: hdr}
+	f := fc.getPingFrame()
+	*f = PingFrame{FrameHeader: hdr}
 	copy(f.Data[:], p)
 	return f, nil
 }
 
-func parseGoAwayFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseGoAwayFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, connError(ErrCodeProtocol, "GOAWAY on non-zero stream")
 	}
 	if len(p) < 8 {
 		return nil, connError(ErrCodeFrameSize, "GOAWAY truncated")
 	}
-	return &GoAwayFrame{
+	f := fc.getGoAwayFrame()
+	*f = GoAwayFrame{
 		FrameHeader:  hdr,
 		LastStreamID: binary.BigEndian.Uint32(p[:4]) & (1<<31 - 1),
 		ErrCode:      ErrCode(binary.BigEndian.Uint32(p[4:8])),
 		DebugData:    p[8:],
-	}, nil
+	}
+	return f, nil
 }
 
-func parseWindowUpdateFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseWindowUpdateFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if len(p) != 4 {
 		return nil, connError(ErrCodeFrameSize, "WINDOW_UPDATE payload must be 4 bytes")
 	}
@@ -291,10 +443,12 @@ func parseWindowUpdateFrame(hdr FrameHeader, p []byte) (Frame, error) {
 		}
 		return nil, streamError(hdr.StreamID, ErrCodeProtocol, "WINDOW_UPDATE increment 0")
 	}
-	return &WindowUpdateFrame{FrameHeader: hdr, Increment: inc}, nil
+	f := fc.getWindowUpdateFrame()
+	*f = WindowUpdateFrame{FrameHeader: hdr, Increment: inc}
+	return f, nil
 }
 
-func parseAltSvcFrame(hdr FrameHeader, p []byte) (Frame, error) {
+func parseAltSvcFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
 	if len(p) < 2 {
 		return nil, connError(ErrCodeFrameSize, "ALTSVC truncated")
 	}
@@ -302,11 +456,13 @@ func parseAltSvcFrame(hdr FrameHeader, p []byte) (Frame, error) {
 	if len(p) < 2+originLen {
 		return nil, connError(ErrCodeFrameSize, "ALTSVC origin truncated")
 	}
-	return &AltSvcFrame{
+	f := fc.getAltSvcFrame()
+	*f = AltSvcFrame{
 		FrameHeader: hdr,
 		Origin:      string(p[2 : 2+originLen]),
 		FieldValue:  string(p[2+originLen:]),
-	}, nil
+	}
+	return f, nil
 }
 
 // parseOriginFrame decodes an RFC 8336 ORIGIN frame: a sequence of
@@ -316,8 +472,10 @@ func parseAltSvcFrame(hdr FrameHeader, p []byte) (Frame, error) {
 // set "MUST be ignored"; the connection layer handles that by checking
 // the returned header, so parsing stays permissive here. A malformed
 // payload, however, is a connection error of type FRAME_SIZE_ERROR.
-func parseOriginFrame(hdr FrameHeader, p []byte) (Frame, error) {
-	f := &OriginFrame{FrameHeader: hdr}
+func parseOriginFrame(fc *frameCache, hdr FrameHeader, p []byte) (Frame, error) {
+	f := fc.getOriginFrame()
+	origins := f.Origins[:0] // keep the cached frame's slice capacity
+	*f = OriginFrame{FrameHeader: hdr}
 	for len(p) > 0 {
 		if len(p) < 2 {
 			return nil, connError(ErrCodeFrameSize, "ORIGIN entry length truncated")
@@ -327,27 +485,54 @@ func parseOriginFrame(hdr FrameHeader, p []byte) (Frame, error) {
 		if len(p) < n {
 			return nil, connError(ErrCodeFrameSize, "ORIGIN entry truncated")
 		}
-		f.Origins = append(f.Origins, string(p[:n]))
+		origins = append(origins, string(p[:n]))
 		p = p[n:]
 	}
+	f.Origins = origins
 	return f, nil
 }
 
 // --- Writing ---
 
-// writeFrame serializes one complete frame under the write lock.
+// The write path assembles every frame directly into fr.wbuf between
+// startWrite and endWrite, so steady-state writes touch no intermediate
+// payload slices and stay allocation-free. Validation that can fail must
+// run before startWrite: endWrite is the only path that releases the
+// write lock.
+
+// startWrite locks the writer and begins a frame with a zero-length
+// header; endWrite patches the real length in.
+func (fr *Framer) startWrite(typ FrameType, flags Flags, streamID uint32) {
+	fr.wmu.Lock()
+	fr.wbuf = appendFrameHeader(fr.wbuf[:0], FrameHeader{
+		Type: typ, Flags: flags, StreamID: streamID,
+	})
+}
+
+// endWrite back-patches the payload length, flushes the frame, and
+// releases the write lock.
+func (fr *Framer) endWrite() error {
+	length := len(fr.wbuf) - frameHeaderLen
+	if length > maxMaxFrameSize {
+		fr.wmu.Unlock()
+		return fmt.Errorf("h2: frame payload %d exceeds protocol maximum", length)
+	}
+	fr.wbuf[0] = byte(length >> 16)
+	fr.wbuf[1] = byte(length >> 8)
+	fr.wbuf[2] = byte(length)
+	_, err := fr.w.Write(fr.wbuf)
+	fr.wmu.Unlock()
+	return err
+}
+
+// writeFrame serializes one complete frame from a caller-owned payload.
 func (fr *Framer) writeFrame(typ FrameType, flags Flags, streamID uint32, payload []byte) error {
 	if len(payload) > maxMaxFrameSize {
 		return fmt.Errorf("h2: frame payload %d exceeds protocol maximum", len(payload))
 	}
-	fr.wmu.Lock()
-	defer fr.wmu.Unlock()
-	fr.wbuf = appendFrameHeader(fr.wbuf[:0], FrameHeader{
-		Type: typ, Flags: flags, StreamID: streamID, Length: uint32(len(payload)),
-	})
+	fr.startWrite(typ, flags, streamID)
 	fr.wbuf = append(fr.wbuf, payload...)
-	_, err := fr.w.Write(fr.wbuf)
-	return err
+	return fr.endWrite()
 }
 
 // WriteData writes a DATA frame. The caller is responsible for honoring
@@ -360,7 +545,9 @@ func (fr *Framer) WriteData(streamID uint32, endStream bool, data []byte) error 
 	if endStream {
 		flags |= FlagEndStream
 	}
-	return fr.writeFrame(FrameData, flags, streamID, data)
+	fr.startWrite(FrameData, flags, streamID)
+	fr.wbuf = append(fr.wbuf, data...)
+	return fr.endWrite()
 }
 
 // HeadersFrameParam configures WriteHeaders.
@@ -381,19 +568,20 @@ func (fr *Framer) WriteHeaders(p HeadersFrameParam) error {
 	if p.EndHeaders {
 		flags |= FlagEndHeaders
 	}
-	payload := p.BlockFragment
 	if p.Priority != nil {
 		flags |= FlagPriority
-		hdr := make([]byte, 5, 5+len(p.BlockFragment))
+	}
+	fr.startWrite(FrameHeaders, flags, p.StreamID)
+	if p.Priority != nil {
 		dep := p.Priority.StreamDep
 		if p.Priority.Exclusive {
 			dep |= 1 << 31
 		}
-		binary.BigEndian.PutUint32(hdr[:4], dep)
-		hdr[4] = p.Priority.Weight
-		payload = append(hdr, p.BlockFragment...)
+		fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, dep)
+		fr.wbuf = append(fr.wbuf, p.Priority.Weight)
 	}
-	return fr.writeFrame(FrameHeaders, flags, p.StreamID, payload)
+	fr.wbuf = append(fr.wbuf, p.BlockFragment...)
+	return fr.endWrite()
 }
 
 // WriteContinuation writes a CONTINUATION frame.
@@ -402,41 +590,44 @@ func (fr *Framer) WriteContinuation(streamID uint32, endHeaders bool, frag []byt
 	if endHeaders {
 		flags |= FlagEndHeaders
 	}
-	return fr.writeFrame(FrameContinuation, flags, streamID, frag)
+	fr.startWrite(FrameContinuation, flags, streamID)
+	fr.wbuf = append(fr.wbuf, frag...)
+	return fr.endWrite()
 }
 
 // WritePriority writes a PRIORITY frame.
 func (fr *Framer) WritePriority(streamID uint32, p PriorityParam) error {
-	buf := make([]byte, 5)
 	dep := p.StreamDep
 	if p.Exclusive {
 		dep |= 1 << 31
 	}
-	binary.BigEndian.PutUint32(buf[:4], dep)
-	buf[4] = p.Weight
-	return fr.writeFrame(FramePriority, 0, streamID, buf)
+	fr.startWrite(FramePriority, 0, streamID)
+	fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, dep)
+	fr.wbuf = append(fr.wbuf, p.Weight)
+	return fr.endWrite()
 }
 
 // WriteRSTStream writes an RST_STREAM frame.
 func (fr *Framer) WriteRSTStream(streamID uint32, code ErrCode) error {
-	buf := make([]byte, 4)
-	binary.BigEndian.PutUint32(buf, uint32(code))
-	return fr.writeFrame(FrameRSTStream, 0, streamID, buf)
+	fr.startWrite(FrameRSTStream, 0, streamID)
+	fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, uint32(code))
+	return fr.endWrite()
 }
 
 // WriteSettings writes a SETTINGS frame with the given parameters.
 func (fr *Framer) WriteSettings(settings ...Setting) error {
-	buf := make([]byte, 0, 6*len(settings))
+	fr.startWrite(FrameSettings, 0, 0)
 	for _, s := range settings {
-		buf = binary.BigEndian.AppendUint16(buf, uint16(s.ID))
-		buf = binary.BigEndian.AppendUint32(buf, s.Val)
+		fr.wbuf = binary.BigEndian.AppendUint16(fr.wbuf, uint16(s.ID))
+		fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, s.Val)
 	}
-	return fr.writeFrame(FrameSettings, 0, 0, buf)
+	return fr.endWrite()
 }
 
 // WriteSettingsAck acknowledges the peer's SETTINGS frame.
 func (fr *Framer) WriteSettingsAck() error {
-	return fr.writeFrame(FrameSettings, FlagAck, 0, nil)
+	fr.startWrite(FrameSettings, FlagAck, 0)
+	return fr.endWrite()
 }
 
 // WritePing writes a PING frame.
@@ -445,15 +636,18 @@ func (fr *Framer) WritePing(ack bool, data [8]byte) error {
 	if ack {
 		flags |= FlagAck
 	}
-	return fr.writeFrame(FramePing, flags, 0, data[:])
+	fr.startWrite(FramePing, flags, 0)
+	fr.wbuf = append(fr.wbuf, data[:]...)
+	return fr.endWrite()
 }
 
 // WriteGoAway writes a GOAWAY frame.
 func (fr *Framer) WriteGoAway(lastStreamID uint32, code ErrCode, debug []byte) error {
-	buf := make([]byte, 8, 8+len(debug))
-	binary.BigEndian.PutUint32(buf[:4], lastStreamID)
-	binary.BigEndian.PutUint32(buf[4:8], uint32(code))
-	return fr.writeFrame(FrameGoAway, 0, 0, append(buf, debug...))
+	fr.startWrite(FrameGoAway, 0, 0)
+	fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, lastStreamID)
+	fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, uint32(code))
+	fr.wbuf = append(fr.wbuf, debug...)
+	return fr.endWrite()
 }
 
 // WriteWindowUpdate writes a WINDOW_UPDATE frame.
@@ -461,32 +655,34 @@ func (fr *Framer) WriteWindowUpdate(streamID, incr uint32) error {
 	if (incr == 0 || incr > maxWindow) && !fr.AllowIllegalWrites {
 		return fmt.Errorf("h2: illegal window increment %d", incr)
 	}
-	buf := make([]byte, 4)
-	binary.BigEndian.PutUint32(buf, incr)
-	return fr.writeFrame(FrameWindowUpdate, 0, streamID, buf)
+	fr.startWrite(FrameWindowUpdate, 0, streamID)
+	fr.wbuf = binary.BigEndian.AppendUint32(fr.wbuf, incr)
+	return fr.endWrite()
 }
 
 // WriteAltSvc writes an ALTSVC frame (RFC 7838 §4).
 func (fr *Framer) WriteAltSvc(streamID uint32, origin, fieldValue string) error {
-	buf := make([]byte, 0, 2+len(origin)+len(fieldValue))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(origin)))
-	buf = append(buf, origin...)
-	buf = append(buf, fieldValue...)
-	return fr.writeFrame(FrameAltSvc, 0, streamID, buf)
+	fr.startWrite(FrameAltSvc, 0, streamID)
+	fr.wbuf = binary.BigEndian.AppendUint16(fr.wbuf, uint16(len(origin)))
+	fr.wbuf = append(fr.wbuf, origin...)
+	fr.wbuf = append(fr.wbuf, fieldValue...)
+	return fr.endWrite()
 }
 
 // WriteOrigin writes an RFC 8336 ORIGIN frame carrying the given origin
 // set on stream 0.
 func (fr *Framer) WriteOrigin(origins []string) error {
-	var buf []byte
 	for _, o := range origins {
 		if len(o) > 65535 {
 			return fmt.Errorf("h2: origin %q too long for ORIGIN frame", o)
 		}
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(o)))
-		buf = append(buf, o...)
 	}
-	return fr.writeFrame(FrameOrigin, 0, 0, buf)
+	fr.startWrite(FrameOrigin, 0, 0)
+	for _, o := range origins {
+		fr.wbuf = binary.BigEndian.AppendUint16(fr.wbuf, uint16(len(o)))
+		fr.wbuf = append(fr.wbuf, o...)
+	}
+	return fr.endWrite()
 }
 
 // WriteRawFrame writes an arbitrary frame; used by tests and the

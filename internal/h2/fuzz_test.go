@@ -96,7 +96,7 @@ func FuzzSettingsDecode(f *testing.F) {
 	f.Add([]byte{0x00, 0x03, 0x00, 0x00, 0x00, 0x64, 0x00, 0x06}) // trailing partial record
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hdr := FrameHeader{Type: FrameSettings, Length: uint32(len(data))}
-		parsed, err := parseSettingsFrame(hdr, data)
+		parsed, err := parseSettingsFrame(nil, hdr, data)
 		if err != nil {
 			return
 		}

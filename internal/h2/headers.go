@@ -165,15 +165,17 @@ func (hr *headerReader) onHeaders(f *HeadersFrame) (*MetaHeadersFrame, error) {
 	if len(f.BlockFragment) > hr.limit() {
 		return nil, connError(ErrCodeEnhanceYourCalm, "header block too large")
 	}
-	// Copy out of the framer's read buffer: the fragment must survive
-	// subsequent ReadFrame calls.
+	// The incoming frame aliases the framer's read buffer (and may be the
+	// framer's cached frame struct), so anything that survives this call
+	// needs its own copy — but only the header fields, never the raw
+	// fragment: a complete block is decoded right here, before the next
+	// ReadFrame can clobber it.
 	owned := &HeadersFrame{FrameHeader: f.FrameHeader, Priority: f.Priority}
-	owned.BlockFragment = append([]byte(nil), f.BlockFragment...)
 	if f.EndHeaders() {
-		return hr.decode(owned, owned.BlockFragment)
+		return hr.decode(owned, f.BlockFragment)
 	}
 	hr.pending = owned
-	hr.frag = append(hr.frag[:0], owned.BlockFragment...)
+	hr.frag = append(hr.frag[:0], f.BlockFragment...)
 	return nil, nil
 }
 

@@ -1,0 +1,48 @@
+package h2
+
+import "sync"
+
+// Buffer recycling for the frame codec. Connections churn constantly at
+// crawl scale, and every connection owns a Framer read buffer and an
+// asyncWriter queue; recycling them through power-of-two size classes
+// keeps steady-state frame I/O off the allocator entirely.
+const (
+	bufPoolMinShift = 10 // smallest pooled cap: 1 KiB
+	bufPoolMaxShift = 20 // largest pooled cap: 1 MiB
+	bufPoolClasses  = bufPoolMaxShift - bufPoolMinShift + 1
+)
+
+var bufPools [bufPoolClasses]sync.Pool
+
+// getBuf returns a zero-length buffer with cap ≥ n, recycled when a
+// suitable one is pooled. Requests beyond the largest class fall back to
+// a plain allocation.
+func getBuf(n int) []byte {
+	if n > 1<<bufPoolMaxShift {
+		return make([]byte, 0, n)
+	}
+	c := 0
+	for 1<<(bufPoolMinShift+c) < n {
+		c++
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*(v.(*[]byte)))[:0]
+	}
+	return make([]byte, 0, 1<<(bufPoolMinShift+c))
+}
+
+// putBuf recycles b. The buffer lands in the largest class whose size it
+// can satisfy, so a later getBuf from that class always has enough cap;
+// buffers outside the pooled range are dropped for the GC.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<bufPoolMinShift || c > 1<<bufPoolMaxShift {
+		return
+	}
+	cls := 0
+	for cls+1 < bufPoolClasses && 1<<(bufPoolMinShift+cls+1) <= c {
+		cls++
+	}
+	b = b[:0]
+	bufPools[cls].Put(&b)
+}

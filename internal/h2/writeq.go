@@ -44,7 +44,7 @@ func (aw *asyncWriter) setWriteTimeout(c interface{ SetWriteDeadline(time.Time) 
 }
 
 func newAsyncWriter(w io.Writer) *asyncWriter {
-	aw := &asyncWriter{w: w, done: make(chan struct{})}
+	aw := &asyncWriter{w: w, done: make(chan struct{}), buf: getBuf(1 << bufPoolMinShift)}
 	aw.cond = sync.NewCond(&aw.mu)
 	go aw.pump()
 	return aw
@@ -61,6 +61,14 @@ func (aw *asyncWriter) Write(p []byte) (int, error) {
 	}
 	if aw.closed {
 		return 0, errors.New("h2: write on closed connection")
+	}
+	// Grow through the size-class pool so the queue buffer is recycled
+	// across connections instead of re-grown from scratch each time.
+	if need := len(aw.buf) + len(p); need > cap(aw.buf) {
+		nb := getBuf(need)
+		nb = append(nb, aw.buf...)
+		putBuf(aw.buf)
+		aw.buf = nb
 	}
 	aw.buf = append(aw.buf, p...)
 	aw.cond.Signal()
@@ -84,7 +92,16 @@ func (aw *asyncWriter) Close() error {
 
 func (aw *asyncWriter) pump() {
 	defer close(aw.done)
-	var chunk []byte
+	chunk := getBuf(1 << bufPoolMinShift)
+	// Once the pump exits, Write refuses all data (err set or closed), so
+	// both buffers are dead and can go back to the pool.
+	defer func() {
+		putBuf(chunk)
+		aw.mu.Lock()
+		putBuf(aw.buf)
+		aw.buf = nil
+		aw.mu.Unlock()
+	}()
 	for {
 		aw.mu.Lock()
 		for len(aw.buf) == 0 && !aw.closed && aw.err == nil {
@@ -93,6 +110,10 @@ func (aw *asyncWriter) pump() {
 		if aw.err != nil || (aw.closed && len(aw.buf) == 0) {
 			aw.mu.Unlock()
 			return
+		}
+		if cap(chunk) < len(aw.buf) {
+			putBuf(chunk)
+			chunk = getBuf(len(aw.buf))
 		}
 		chunk = append(chunk[:0], aw.buf...)
 		aw.buf = aw.buf[:0]

@@ -1,0 +1,122 @@
+package hpack
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchHuffmanSamples mirrors the header strings a corpus crawl decodes
+// most: authority/path/user-agent/accept-style literals.
+var benchHuffmanSamples = []string{
+	"www.site-123456.example",
+	"/assets/js/application-3f2a1b.min.js",
+	"Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 Firefox/96.0",
+	"text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+	"gzip, deflate, br",
+	"session=1f4c2d8a9b3e5f7a; theme=dark; consent=granted",
+}
+
+func benchHuffmanEncoded(b *testing.B) [][]byte {
+	b.Helper()
+	enc := make([][]byte, len(benchHuffmanSamples))
+	for i, s := range benchHuffmanSamples {
+		enc[i] = AppendHuffmanString(nil, s)
+	}
+	return enc
+}
+
+// BenchmarkHuffmanDecode measures the production LUT decoder on
+// corpus-style header strings.
+func BenchmarkHuffmanDecode(b *testing.B) {
+	enc := benchHuffmanEncoded(b)
+	var n int
+	for _, e := range enc {
+		n += len(e)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range enc {
+			if _, err := HuffmanDecode(e, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHuffmanDecodeTree measures the reference bit-walking decoder
+// on the same inputs; the ratio against BenchmarkHuffmanDecode is the
+// LUT speedup tracked in EXPERIMENTS.md.
+func BenchmarkHuffmanDecodeTree(b *testing.B) {
+	enc := benchHuffmanEncoded(b)
+	var n int
+	for _, e := range enc {
+		n += len(e)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range enc {
+			if _, err := HuffmanDecodeTree(e, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHuffmanDecodeLong stresses the decoder on a long maximally
+// compressible literal (the digit-heavy case hit by cookie values).
+func BenchmarkHuffmanDecodeLong(b *testing.B) {
+	s := strings.Repeat("0123456789abcdef-", 256)
+	enc := AppendHuffmanString(nil, s)
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := HuffmanDecode(enc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFull measures full header-block decoding, the per-
+// request HPACK hot path (dynamic table lookups + string decode).
+func BenchmarkDecodeFull(b *testing.B) {
+	fields := []HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.site-123456.example"},
+		{Name: ":path", Value: "/assets/js/application-3f2a1b.min.js"},
+		{Name: "user-agent", Value: "Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 Firefox/96.0"},
+		{Name: "accept", Value: "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"},
+		{Name: "accept-encoding", Value: "gzip, deflate, br"},
+		{Name: "cookie", Value: "session=1f4c2d8a9b3e5f7a; theme=dark; consent=granted"},
+	}
+	enc := NewEncoder()
+	blk := enc.AppendHeaderBlock(nil, fields)
+	dec := NewDecoder()
+	b.SetBytes(int64(len(blk)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeFull(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeBlock measures header-block encoding with Huffman on.
+func BenchmarkEncodeBlock(b *testing.B) {
+	fields := []HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":authority", Value: "www.site-123456.example"},
+		{Name: ":path", Value: "/assets/js/application-3f2a1b.min.js"},
+		{Name: "accept-encoding", Value: "gzip, deflate, br"},
+	}
+	enc := NewEncoder()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = enc.AppendHeaderBlock(buf[:0], fields)
+	}
+}

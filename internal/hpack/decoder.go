@@ -15,6 +15,12 @@ type Decoder struct {
 	// maxStringLen bounds individual decoded strings; 0 means the
 	// package-wide DefaultMaxStringLength, never "unbounded".
 	maxStringLen uint64
+
+	// scratch is the reusable Huffman decode buffer: string literals
+	// decode into it before the single string materialization, so
+	// steady-state decoding allocates once per header string instead of
+	// once per buffer growth step.
+	scratch []byte
 }
 
 // NewDecoder returns a Decoder whose dynamic table capacity and update
@@ -119,12 +125,12 @@ func (d *Decoder) readLiteral(block []byte, n uint8) (HeaderField, []byte, error
 		}
 		f.Name = ref.Name
 	} else {
-		f.Name, rest, err = readString(rest, d.maxStringLen)
+		f.Name, rest, d.scratch, err = readString(rest, d.maxStringLen, d.scratch)
 		if err != nil {
 			return HeaderField{}, nil, err
 		}
 	}
-	f.Value, rest, err = readString(rest, d.maxStringLen)
+	f.Value, rest, d.scratch, err = readString(rest, d.maxStringLen, d.scratch)
 	if err != nil {
 		return HeaderField{}, nil, err
 	}

@@ -103,9 +103,13 @@ func FuzzHuffmanRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzHuffmanDecode hammers the decoder with raw bytes. Accepted inputs
-// must re-encode to the identical byte string: the code is prefix-free
-// and the enforced EOS padding is canonical, so decode is injective.
+// FuzzHuffmanDecode hammers the decoder with raw bytes. The flat-LUT
+// production decoder and the bit-walking reference tree decoder must
+// agree on every input — decoded bytes and error classification alike —
+// so the fuzzer hunts for divergence between the two implementations.
+// Accepted inputs must additionally re-encode to the identical byte
+// string: the code is prefix-free and the enforced EOS padding is
+// canonical, so decode is injective.
 func FuzzHuffmanDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff}) // "www.example.com"
@@ -113,6 +117,13 @@ func FuzzHuffmanDecode(f *testing.F) {
 	f.Add([]byte{0x08, 0x42, 0x10, 0x84, 0x21})                                           // "11111111", no padding
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := HuffmanDecode(data, 0)
+		ts, terr := HuffmanDecodeTree(data, 0)
+		if err != terr {
+			t.Fatalf("LUT err %v, tree err %v for %x", err, terr, data)
+		}
+		if s != ts {
+			t.Fatalf("LUT decoded %q, tree decoded %q for %x", s, ts, data)
+		}
 		if err != nil {
 			return
 		}

@@ -153,33 +153,36 @@ const DefaultMaxStringLength = 1 << 20
 
 // readString decodes a §5.2 string literal, applying Huffman decoding
 // when the H bit is set. maxLen bounds the decoded length; zero applies
-// DefaultMaxStringLength rather than no bound at all.
-func readString(buf []byte, maxLen uint64) (string, []byte, error) {
+// DefaultMaxStringLength rather than no bound at all. scratch, when
+// non-nil, is used as the Huffman decode buffer so the only allocation
+// is the returned string; the (possibly grown) buffer comes back to the
+// caller for reuse.
+func readString(buf []byte, maxLen uint64, scratch []byte) (s string, rest, scratchOut []byte, err error) {
 	if maxLen == 0 {
 		maxLen = DefaultMaxStringLength
 	}
 	if len(buf) == 0 {
-		return "", nil, ErrTruncated
+		return "", nil, scratch, ErrTruncated
 	}
 	huff := buf[0]&0x80 != 0
 	n, rest, err := readVarInt(buf, 7)
 	if err != nil {
-		return "", nil, err
+		return "", nil, scratch, err
 	}
 	if uint64(len(rest)) < n {
-		return "", nil, ErrTruncated
+		return "", nil, scratch, ErrTruncated
 	}
 	raw := rest[:n]
 	rest = rest[n:]
 	if !huff {
 		if n > maxLen {
-			return "", nil, ErrStringLength
+			return "", nil, scratch, ErrStringLength
 		}
-		return string(raw), rest, nil
+		return string(raw), rest, scratch, nil
 	}
-	s, err := HuffmanDecode(raw, maxLen)
+	dec, err := AppendHuffmanDecode(scratch[:0], raw, maxLen)
 	if err != nil {
-		return "", nil, err
+		return "", nil, dec, err
 	}
-	return s, rest, nil
+	return string(dec), rest, dec, nil
 }

@@ -118,11 +118,15 @@ func AppendHuffmanString(dst []byte, s string) []byte {
 	return dst
 }
 
-// HuffmanDecode decodes Huffman-coded data. maxLen bounds the decoded
-// length (0 means DefaultMaxStringLength). Per RFC 7541 §5.2 a padding
-// longer than 7 bits, a padding that is not the EOS prefix, or an
-// incomplete code is a decoding error.
-func HuffmanDecode(data []byte, maxLen uint64) (string, error) {
+// HuffmanDecodeTree decodes Huffman-coded data by walking the decoding
+// tree one bit at a time. It is the reference implementation: the
+// production decoder (HuffmanDecode) is a flat byte-at-a-time lookup
+// table built from the same tree, and the differential tests and fuzz
+// targets assert the two agree byte for byte, including error
+// classification. Per RFC 7541 §5.2 a padding longer than 7 bits, a
+// padding that is not the EOS prefix, or an incomplete code is a
+// decoding error.
+func HuffmanDecodeTree(data []byte, maxLen uint64) (string, error) {
 	if maxLen == 0 {
 		maxLen = DefaultMaxStringLength
 	}
@@ -155,6 +159,143 @@ func HuffmanDecode(data []byte, maxLen uint64) (string, error) {
 	// Trailing partial code must be a ones-only EOS prefix of < 8 bits.
 	if depth > 7 || !onesRun {
 		return "", ErrHuffman
+	}
+	return string(out), nil
+}
+
+// --- Flat LUT decoder ---
+//
+// The production decoder consumes input one byte at a time. A state is
+// a node of the decoding tree reachable at a byte boundary (the code
+// residue carried across bytes); for every (state, next byte) pair the
+// table below precomputes the walk over those 8 bits: up to two decoded
+// symbols (the shortest code is 5 bits, so 8 bits complete at most a
+// residue plus one 5-bit code), the next state, and whether the walk
+// fell off the tree (invalid coding). Padding legality is a property of
+// the final state alone — its depth is the number of bits into the
+// pending code and huffmanStateOnes records whether that partial path
+// is the all-ones EOS prefix — so the RFC 7541 §5.2 checks carry over
+// from the tree decoder unchanged.
+
+// huffmanLUTEntry is one (state, byte) transition.
+type huffmanLUTEntry struct {
+	next    uint16 // state index after consuming the byte
+	syms    [2]byte
+	nsyms   uint8
+	invalid bool // walk reached a nil child (after emitting syms)
+}
+
+var (
+	// huffmanLUT is the flat transition table, indexed state<<8|byte.
+	huffmanLUT []huffmanLUTEntry
+	// huffmanStateDepth is the bit depth of each state's pending code.
+	huffmanStateDepth []uint8
+	// huffmanStateOnes records whether each state's pending-code path
+	// consists entirely of ones (a legal EOS-prefix padding).
+	huffmanStateOnes []bool
+)
+
+func init() { buildHuffmanLUT() }
+
+// buildHuffmanLUT discovers the byte-boundary states by breadth-first
+// search from the tree root and precomputes every 8-bit walk.
+func buildHuffmanLUT() {
+	type stateInfo struct {
+		n     *huffmanNode
+		depth uint8
+		ones  bool
+	}
+	index := map[*huffmanNode]uint16{huffmanRoot: 0}
+	states := []stateInfo{{huffmanRoot, 0, true}}
+	for si := 0; si < len(states); si++ {
+		start := states[si]
+		for b := 0; b < 256; b++ {
+			var e huffmanLUTEntry
+			n := start.n
+			depth, ones := start.depth, start.ones
+			for bit := 7; bit >= 0; bit-- {
+				v := (byte(b) >> uint(bit)) & 1
+				if v == 0 {
+					ones = false
+				}
+				n = n.children[v]
+				if n == nil {
+					e.invalid = true
+					break
+				}
+				depth++
+				if n.leaf {
+					if e.nsyms >= 2 {
+						panic("hpack: >2 symbols in one huffman LUT step")
+					}
+					e.syms[e.nsyms] = n.sym
+					e.nsyms++
+					n = huffmanRoot
+					depth, ones = 0, true
+				}
+			}
+			if !e.invalid {
+				idx, seen := index[n]
+				if !seen {
+					idx = uint16(len(states))
+					index[n] = idx
+					states = append(states, stateInfo{n, depth, ones})
+				}
+				e.next = idx
+			}
+			huffmanLUT = append(huffmanLUT, e)
+		}
+		// Entries for states discovered during this pass are appended by
+		// the outer loop as si advances.
+	}
+	huffmanStateDepth = make([]uint8, len(states))
+	huffmanStateOnes = make([]bool, len(states))
+	for i, s := range states {
+		huffmanStateDepth[i] = s.depth
+		huffmanStateOnes[i] = s.ones
+	}
+}
+
+// AppendHuffmanDecode decodes Huffman-coded data into dst (which may be
+// a reused scratch buffer) and returns the extended slice. maxLen bounds
+// len(result) (0 means DefaultMaxStringLength). Error semantics are
+// identical to HuffmanDecodeTree; on error the returned slice holds the
+// symbols decoded so far and must be discarded by the caller.
+func AppendHuffmanDecode(dst, data []byte, maxLen uint64) ([]byte, error) {
+	if maxLen == 0 {
+		maxLen = DefaultMaxStringLength
+	}
+	base := uint64(len(dst))
+	st := uint16(0)
+	for _, b := range data {
+		e := &huffmanLUT[int(st)<<8|int(b)]
+		if e.nsyms > 0 {
+			dst = append(dst, e.syms[:e.nsyms]...)
+			if uint64(len(dst))-base > maxLen {
+				return dst, ErrStringLength
+			}
+		}
+		if e.invalid {
+			return dst, ErrHuffman
+		}
+		st = e.next
+	}
+	if huffmanStateDepth[st] > 7 || !huffmanStateOnes[st] {
+		return dst, ErrHuffman
+	}
+	return dst, nil
+}
+
+// HuffmanDecode decodes Huffman-coded data via the flat lookup table.
+// maxLen bounds the decoded length (0 means DefaultMaxStringLength).
+func HuffmanDecode(data []byte, maxLen uint64) (string, error) {
+	// The shortest code is 5 bits, so decoded length ≤ ⌈len(data)*8/5⌉;
+	// sizing the buffer to that bound makes growth reallocation
+	// impossible and leaves one string materialization as the only
+	// variable-size allocation.
+	out, err := AppendHuffmanDecode(make([]byte, 0, (len(data)*8+4)/5), data, maxLen)
+	if err != nil {
+		return "", err
 	}
 	return string(out), nil
 }

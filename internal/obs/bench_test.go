@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// benchEvent is representative of the hot emission sites: a stream-open
+// event with host and count, as emitted once per request by the h2
+// client.
+func benchEvent(i int) Event {
+	return Event{Rank: i & 1023, Seq: i, Kind: KindStreamOpen, Host: "www.site-123456.example", N: 3}
+}
+
+// BenchmarkEmitRecorderOff measures the uninstrumented path: every
+// protocol layer calls the nil-tolerant helpers unconditionally, so
+// this must stay at 0 allocs/op for recorder-off runs to be free.
+func BenchmarkEmitRecorderOff(b *testing.B) {
+	var r Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(r, "h2.client.streams", 1)
+		Observe(r, "page.ms", 12.5)
+		Emit(r, benchEvent(i))
+	}
+}
+
+// BenchmarkTraceEvent measures the recorder-on trace append path that a
+// 10^5-page crawl exercises ~20 times per page.
+func BenchmarkTraceEvent(b *testing.B) {
+	t := NewTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Event(benchEvent(i))
+	}
+}
+
+// BenchmarkMetricsEvent measures the per-kind event counting path.
+func BenchmarkMetricsEvent(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Event(benchEvent(i))
+	}
+}
+
+// BenchmarkMetricsCountObserve measures the steady-state counter and
+// histogram paths (names already interned).
+func BenchmarkMetricsCountObserve(b *testing.B) {
+	m := NewMetrics()
+	m.Count("h2.client.streams", 1)
+	m.Observe("page.ms", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Count("h2.client.streams", 1)
+		m.Observe("page.ms", 12.5)
+	}
+}
+
+// BenchmarkTraceWriteNDJSON measures trace serialization throughput.
+func BenchmarkTraceWriteNDJSON(b *testing.B) {
+	t := NewTrace()
+	for i := 0; i < 10000; i++ {
+		t.Event(benchEvent(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := t.WriteNDJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -202,10 +202,30 @@ func (m *Metrics) Observe(hist string, ms float64) {
 	h.Observe(ms)
 }
 
+// eventCounterName maps every known event kind to its counter name, so
+// the per-event hot path skips the "events."+kind concatenation (one
+// heap allocation per emitted event at crawl scale).
+var eventCounterName = func() map[string]string {
+	names := make(map[string]string)
+	for _, k := range []string{
+		KindPageStart, KindDNSQuery, KindDNSCacheHit, KindDNSFail,
+		KindTLSHandshake, KindTLSResume, KindCertMemoHit, KindConnectFail,
+		KindStreamOpen, KindOriginFrame, KindCoalesceHit, KindMisdirected,
+		KindRetry, KindGoAway, KindReset, KindPageEnd,
+	} {
+		names[k] = "events." + k
+	}
+	return names
+}()
+
 // Event implements Recorder by counting events per kind under
 // "events.<kind>".
 func (m *Metrics) Event(ev Event) {
-	m.Count("events."+ev.Kind, 1)
+	name, ok := eventCounterName[ev.Kind]
+	if !ok {
+		name = "events." + ev.Kind
+	}
+	m.Count(name, 1)
 }
 
 // Get returns the current value of a counter (0 if never written).
