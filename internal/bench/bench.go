@@ -40,6 +40,7 @@ func All() []Benchmark {
 	out = append(out, obsSuite()...)
 	out = append(out, measureSuite()...)
 	out = append(out, pipelineSuite()...)
+	out = append(out, loadgenSuite()...)
 	return out
 }
 

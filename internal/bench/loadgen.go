@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"respectorigin/internal/loadgen"
+)
+
+// loadgenUsers keeps one iteration in the low hundreds of milliseconds:
+// big enough that the parallel user phase dominates the sequential
+// arrival and queueing passes, small enough for testing.Benchmark to
+// converge quickly.
+const (
+	loadgenUsers = 5000
+	loadgenSeed  = 1
+)
+
+// loadgenSuite measures the open-loop serving mode end to end at the
+// worker counts the determinism gate exercises. Ungated: the run spans
+// the whole stack (CDN, browser pools, caches, netsim, queueing), so
+// allocation counts are workload-shaped rather than a fixed hot-path
+// budget.
+func loadgenSuite() []Benchmark {
+	var out []Benchmark
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		out = append(out, Benchmark{
+			Suite: "loadgen",
+			Name:  fmt.Sprintf("OpenLoopRun/users=%d/seed=%d/workers=%d", loadgenUsers, loadgenSeed, workers),
+			F: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := loadgen.DefaultConfig()
+				cfg.Users = loadgenUsers
+				cfg.Seed = loadgenSeed
+				cfg.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if _, err := loadgen.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	return out
+}

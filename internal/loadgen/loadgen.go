@@ -1,0 +1,342 @@
+// Package loadgen is the open-loop live-traffic serving mode: it drives
+// the deployment stack (internal/cdn + internal/netsim + internal/sched
+// queueing) with an arrival process of independent users on the shared
+// virtual clock, and reports tail latency, SLO attainment, and the
+// coalescing rate as a function of offered load — the serving-side view
+// of the paper's question, where connection coalescing shows up as
+// fewer handshakes competing for PoP capacity under the same demand.
+//
+// The generator is open-loop: users arrive on a schedule drawn from the
+// configured arrival process (Poisson, diurnal, or flash-crowd) and
+// never slow down because the system is loaded, so queueing delay is
+// visible instead of being absorbed by client back-pressure. Each user
+// carries its own warm-path cache (internal/cache) across revisits, its
+// own connection pool with idle-timeout churn, and its own seeded
+// network model, so revisit warmth and coalescing behaviour match the
+// single-page experiments.
+//
+// Determinism is the package invariant: Run is a pure function of
+// (Config, Seed), byte-identical for any worker count. The run is three
+// phases — (1) arrival times are drawn sequentially from one seeded
+// stream; (2) each user's visits are simulated in parallel, every user
+// a pure function of its splitmix-derived seed (own RNG, own browser,
+// own cache, own netsim stream, no shared recorder); (3) a sequential
+// queueing pass replays all visits in arrival order through per-PoP
+// server pools on the virtual clock, and only this phase touches the
+// observability recorder and the float accumulators whose addition
+// order matters.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"respectorigin/internal/cache"
+	"respectorigin/internal/cdn"
+	"respectorigin/internal/netsim"
+	"respectorigin/internal/obs"
+	"respectorigin/internal/parallel"
+)
+
+// Arrival process names accepted by Config.Arrival.
+const (
+	ArrivalPoisson = "poisson" // homogeneous Poisson at RatePerSec
+	ArrivalDiurnal = "diurnal" // sinusoidal day/night modulation
+	ArrivalFlash   = "flash"   // Poisson baseline plus a Gaussian burst
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Users is the number of arriving users (each makes one or more
+	// visits). The run simulates arrivals until this many users exist.
+	Users int
+	// Seed drives every random draw in the run.
+	Seed int64
+	// Workers bounds the parallel user-simulation phase; ≤ 0 selects
+	// parallel.DefaultWorkers. The output is byte-identical for every
+	// value.
+	Workers int
+
+	// Arrival selects the arrival process (ArrivalPoisson default).
+	Arrival string
+	// RatePerSec is the mean user arrival rate λ (users/second).
+	RatePerSec float64
+	// DiurnalPeriodSec is the modulation period for ArrivalDiurnal.
+	DiurnalPeriodSec float64
+	// DiurnalDepth in [0,1) is how far the trough falls below the peak
+	// rate (0.8 ⇒ night runs at 20% of the daytime peak).
+	DiurnalDepth float64
+	// FlashAtSec / FlashWidthSec / FlashHeight shape the ArrivalFlash
+	// burst: a Gaussian bump centred at FlashAtSec with the given width,
+	// multiplying the baseline rate by FlashHeight at its peak.
+	FlashAtSec    float64
+	FlashWidthSec float64
+	FlashHeight   float64
+
+	// Zones is how many customer zones the simulated CDN hosts; each
+	// user is pinned to one home zone.
+	Zones int
+	// Phase is the deployment phase the CDN serves under (baseline,
+	// ip-coalescing, or origin-frame), which is what moves the
+	// coalescing rate — and with it the handshake load on the PoPs.
+	Phase cdn.Phase
+
+	// PoPs is the number of points of presence; each user is anchored
+	// to one (nearest-PoP routing). PoPServers is the per-PoP server
+	// count — the c of the per-PoP G/G/c queue.
+	PoPs       int
+	PoPServers int
+	// ServiceMs is the server work per request; HandshakeSvcMs is the
+	// extra server work per fresh TLS handshake (the term coalescing
+	// removes).
+	ServiceMs      float64
+	HandshakeSvcMs float64
+
+	// VisitsMean is the mean number of visits per user (geometric,
+	// minimum 1). RevisitMeanSec is the mean gap between a user's
+	// successive visits (exponential). IdleTimeoutSec is the server
+	// idle timeout: a revisit gap at or above it finds the user's
+	// pooled connections closed and must reconnect (connection churn).
+	VisitsMean     float64
+	RevisitMeanSec float64
+	IdleTimeoutSec float64
+
+	// SLOMs is the per-visit latency objective for SLO attainment.
+	SLOMs float64
+
+	// FirefoxShare and ChromeShare split users across client families
+	// (the remainder are legacy HTTP/1.1-era clients that never
+	// coalesce and carry no warm-path cache).
+	FirefoxShare float64
+	ChromeShare  float64
+
+	// Cache configures each user's warm-path state; Net the per-user
+	// network model.
+	Cache cache.Options
+	Net   netsim.Params
+
+	// Rec, when non-nil, receives "loadgen.*" counters and latency
+	// histograms. It is only written from the sequential queueing pass,
+	// so installing one never perturbs determinism.
+	Rec obs.Recorder
+}
+
+// DefaultConfig returns a runnable medium-load configuration.
+func DefaultConfig() Config {
+	return Config{
+		Users:            100_000,
+		Seed:             1,
+		Arrival:          ArrivalPoisson,
+		RatePerSec:       200,
+		DiurnalPeriodSec: 3600,
+		DiurnalDepth:     0.8,
+		FlashAtSec:       120,
+		FlashWidthSec:    30,
+		FlashHeight:      8,
+		Zones:            64,
+		Phase:            cdn.PhaseIP,
+		PoPs:             16,
+		PoPServers:       8,
+		ServiceMs:        4,
+		HandshakeSvcMs:   12,
+		VisitsMean:       2.5,
+		RevisitMeanSec:   600,
+		IdleTimeoutSec:   300,
+		SLOMs:            1500,
+		FirefoxShare:     0.08,
+		ChromeShare:      0.72,
+		Net:              netsim.DefaultParams(),
+	}
+}
+
+// withDefaults resolves zero values so partial configs stay runnable.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Users <= 0 {
+		c.Users = d.Users
+	}
+	if c.Arrival == "" {
+		c.Arrival = d.Arrival
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = d.RatePerSec
+	}
+	if c.DiurnalPeriodSec <= 0 {
+		c.DiurnalPeriodSec = d.DiurnalPeriodSec
+	}
+	if c.DiurnalDepth < 0 || c.DiurnalDepth >= 1 {
+		c.DiurnalDepth = d.DiurnalDepth
+	}
+	if c.FlashWidthSec <= 0 {
+		c.FlashWidthSec = d.FlashWidthSec
+	}
+	if c.FlashHeight <= 1 {
+		c.FlashHeight = d.FlashHeight
+	}
+	if c.Zones <= 0 {
+		c.Zones = d.Zones
+	}
+	if c.PoPs <= 0 {
+		c.PoPs = d.PoPs
+	}
+	if c.PoPServers <= 0 {
+		c.PoPServers = d.PoPServers
+	}
+	if c.ServiceMs <= 0 {
+		c.ServiceMs = d.ServiceMs
+	}
+	if c.HandshakeSvcMs < 0 {
+		c.HandshakeSvcMs = d.HandshakeSvcMs
+	}
+	if c.VisitsMean < 1 {
+		c.VisitsMean = d.VisitsMean
+	}
+	if c.RevisitMeanSec <= 0 {
+		c.RevisitMeanSec = d.RevisitMeanSec
+	}
+	if c.IdleTimeoutSec <= 0 {
+		c.IdleTimeoutSec = d.IdleTimeoutSec
+	}
+	if c.SLOMs <= 0 {
+		c.SLOMs = d.SLOMs
+	}
+	if c.FirefoxShare <= 0 && c.ChromeShare <= 0 {
+		c.FirefoxShare, c.ChromeShare = d.FirefoxShare, d.ChromeShare
+	}
+	if c.Net == (netsim.Params{}) {
+		c.Net = d.Net
+	}
+	return c
+}
+
+// mix derives an independent 64-bit seed from (seed, id) via the
+// splitmix64 finalizer — the per-user seeding discipline that makes
+// every user a pure function of its index, independent of worker count.
+func mix(seed int64, id uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// rate returns the instantaneous arrival rate λ(t) at t seconds, and
+// peakRate its supremum — the homogeneous rate the thinning sampler
+// draws candidates at.
+func (c Config) rate(tSec float64) float64 {
+	switch c.Arrival {
+	case ArrivalDiurnal:
+		// Peak λ at mid-cycle, trough λ·(1-depth) at t=0 (cosine phase).
+		return c.RatePerSec * (1 - c.DiurnalDepth*(0.5+0.5*math.Cos(2*math.Pi*tSec/c.DiurnalPeriodSec)))
+	case ArrivalFlash:
+		x := (tSec - c.FlashAtSec) / c.FlashWidthSec
+		return c.RatePerSec * (1 + (c.FlashHeight-1)*math.Exp(-x*x))
+	default:
+		return c.RatePerSec
+	}
+}
+
+func (c Config) peakRate() float64 {
+	if c.Arrival == ArrivalFlash {
+		return c.RatePerSec * c.FlashHeight
+	}
+	return c.RatePerSec
+}
+
+// arrivalTimes draws the Users arrival instants (milliseconds,
+// ascending) from one sequential seeded stream. Inhomogeneous processes
+// use Lewis–Shedler thinning against the peak rate, so every accepted
+// and rejected candidate consumes draws in schedule order and the
+// schedule is independent of everything downstream.
+func (c Config) arrivalTimes() []float64 {
+	rs := rand.New(rand.NewSource(mix(c.Seed, 0)))
+	peak := c.peakRate()
+	times := make([]float64, 0, c.Users)
+	t := 0.0
+	for len(times) < c.Users {
+		t += rs.ExpFloat64() / peak
+		if c.Arrival == ArrivalPoisson || rs.Float64() < c.rate(t)/peak {
+			times = append(times, t*1000)
+		}
+	}
+	return times
+}
+
+// Validate reports configuration errors a run cannot proceed past.
+func (c Config) Validate() error {
+	switch c.Arrival {
+	case "", ArrivalPoisson, ArrivalDiurnal, ArrivalFlash:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q", c.Arrival)
+	}
+	return nil
+}
+
+// buildCDN constructs the shared serving environment: Zones customer
+// zones with alternating control/experiment treatment, certificates
+// reissued, and the configured deployment phase entered. The CDN is
+// read-only during the parallel phase (its DNS authority and zone maps
+// are mutex-guarded and answer queries order-independently; rotation
+// stays off).
+func buildCDN(cfg Config) *cdn.CDN {
+	c := cdn.New(cdn.Config{Seed: cfg.Seed})
+	for i := 0; i < cfg.Zones; i++ {
+		host := fmt.Sprintf("www.zone-%d.example", i)
+		addr := [4]byte{104, 18, byte(i >> 8), byte(i)}
+		z := c.AddZone(host, cdn.SLATierFree, addrFrom4(addr))
+		if i%2 == 0 {
+			z.Treatment = cdn.TreatmentExperiment
+		} else {
+			z.Treatment = cdn.TreatmentControl
+		}
+	}
+	c.ReissueCertificates()
+	switch cfg.Phase {
+	case cdn.PhaseIP:
+		c.EnterPhaseIP()
+	case cdn.PhaseOrigin:
+		c.EnterPhaseOrigin(addrFrom4([4]byte{104, 19, 0, 1}))
+	}
+	return c
+}
+
+// Run executes the three-phase simulation and returns its aggregate
+// result. Same Config ⇒ byte-identical Result for any Workers value.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	// Phase 1: sequential arrival schedule.
+	arrivals := cfg.arrivalTimes()
+
+	// Phase 2: parallel per-user simulation. Results land at the user's
+	// index, and each user reads only its own seeded state plus the
+	// shared read-only CDN, so scheduling cannot reorder anything.
+	env := buildCDN(cfg)
+	perUser := parallel.Map(cfg.Users, cfg.Workers, func(i int) []visit {
+		return simulateUser(cfg, env, i, arrivals[i])
+	})
+
+	// Phase 3: sequential queueing pass over all visits in arrival
+	// order — the only phase that owns the recorder and the order-
+	// sensitive float accumulators.
+	res := runQueue(cfg, flatten(perUser))
+	if last := arrivals[len(arrivals)-1]; last > 0 {
+		res.OfferedUPS = float64(cfg.Users) / (last / 1000)
+	}
+	return res, nil
+}
+
+func flatten(perUser [][]visit) []visit {
+	n := 0
+	for _, vs := range perUser {
+		n += len(vs)
+	}
+	out := make([]visit, 0, n)
+	for _, vs := range perUser {
+		out = append(out, vs...)
+	}
+	return out
+}

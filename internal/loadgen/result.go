@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Result is the aggregate outcome of one run. Its JSON form is the
+// NDJSON summary the CLI emits and the CI determinism gate diffs;
+// field order and float formatting come from encoding/json over this
+// fixed struct, so byte-identity across worker counts follows from
+// value-identity.
+type Result struct {
+	Users      int     `json:"users"`
+	Seed       int64   `json:"seed"`
+	Arrival    string  `json:"arrival"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	PoPs       int     `json:"pops"`
+	PoPServers int     `json:"pop_servers"`
+
+	Visits        int     `json:"visits"`
+	Requests      int64   `json:"requests"`
+	SpanSec       float64 `json:"span_sec"`    // first arrival to last completion
+	OfferedRPS    float64 `json:"offered_rps"` // demand rate: λ times mean requests per user
+	OfferedUPS    float64 `json:"offered_ups"` // empirical user-arrival rate of the schedule
+	FreshConns    int64   `json:"fresh_conns"`
+	ResumedConns  int64   `json:"resumed_conns"`
+	ReusedReqs    int64   `json:"reused_reqs"`
+	CoalescedReqs int64   `json:"coalesced_reqs"`
+	CoalesceRate  float64 `json:"coalesce_rate"`
+	DNSQueries    int64   `json:"dns_queries"`
+	DNSCacheHits  int64   `json:"dns_cache_hits"`
+	ChurnedConns  int64   `json:"churned_conns"`
+	FailedReqs    int64   `json:"failed_reqs"`
+
+	MeanMs        float64 `json:"mean_ms"`
+	MeanWaitMs    float64 `json:"mean_wait_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	SLOMs         float64 `json:"slo_ms"`
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// WriteNDJSON writes results as newline-delimited JSON, one object per
+// line — the machine-readable artifact of a run or a sweep.
+func WriteNDJSON(w io.Writer, results ...Result) error {
+	for _, r := range results {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the result as an aligned human-readable block.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d users, %s arrivals @ %.0f/s, %d PoPs x %d servers\n",
+		r.Users, r.Arrival, r.RatePerSec, r.PoPs, r.PoPServers)
+	fmt.Fprintf(&b, "  visits %d, requests %d over %.1f s (%.0f req/s offered)\n",
+		r.Visits, r.Requests, r.SpanSec, r.OfferedRPS)
+	fmt.Fprintf(&b, "  conns: %d fresh (%d resumed), %d reused, %d coalesced (rate %.3f), %d churned\n",
+		r.FreshConns, r.ResumedConns, r.ReusedReqs, r.CoalescedReqs, r.CoalesceRate, r.ChurnedConns)
+	fmt.Fprintf(&b, "  dns: %d queries, %d cache hits\n", r.DNSQueries, r.DNSCacheHits)
+	fmt.Fprintf(&b, "  latency ms: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f (wait mean %.1f)\n",
+		r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs, r.MeanWaitMs)
+	fmt.Fprintf(&b, "  SLO %.0f ms: %.2f%% attained\n", r.SLOMs, 100*r.SLOAttainment)
+	return b.String()
+}
+
+// Sweep runs the configuration at each rate multiplier in turn (same
+// seed, same user count), returning one Result per offered-load point —
+// the tail-latency-vs-load curve of the under-load report.
+func Sweep(cfg Config, multipliers []float64) ([]Result, error) {
+	out := make([]Result, 0, len(multipliers))
+	base := cfg.withDefaults().RatePerSec
+	for _, m := range multipliers {
+		c := cfg
+		c.RatePerSec = base * m
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

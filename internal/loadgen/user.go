@@ -1,0 +1,224 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"respectorigin/internal/browser"
+	"respectorigin/internal/cache"
+	"respectorigin/internal/cdn"
+	"respectorigin/internal/netsim"
+)
+
+// visit is one page view by one user, as produced by the parallel
+// simulation phase: everything the sequential queueing pass needs to
+// replay it on the virtual clock.
+type visit struct {
+	UserID    int
+	Seq       int     // visit index within the user
+	ArrivalMs float64 // absolute virtual time of the visit
+	PoP       int     // anchored point of presence
+
+	ClientMs  float64 // client-side network latency (DNS/connect/TLS/wait/transfer)
+	ServiceMs float64 // server work the PoP queue must perform
+
+	Requests   int
+	FreshConns int // full TLS handshakes
+	Resumed    int // ticket-resumption handshakes
+	Reused     int // requests satisfied on a pooled connection
+	Coalesced  int // reused across hostnames (Outcome.Coalesced)
+	DNSQueries int
+	DNSHits    int // positive DNS-cache hits
+	Churned    int // pooled connections lost to the idle timeout
+	Failed     int
+}
+
+func addrFrom4(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }
+
+// userProfile is the per-user identity drawn before any visit runs.
+type userProfile struct {
+	ua       string
+	policy   browser.Policy
+	h2       bool
+	zoneHost string
+	pop      int
+}
+
+// drawProfile fixes a user's client family, home zone, and anchored
+// PoP from the user's own stream.
+func drawProfile(cfg Config, rs *rand.Rand, uid int) userProfile {
+	p := userProfile{
+		zoneHost: fmt.Sprintf("www.zone-%d.example", rs.Intn(cfg.Zones)),
+		pop:      rs.Intn(cfg.PoPs),
+	}
+	switch x := rs.Float64(); {
+	case x < cfg.FirefoxShare:
+		p.ua, p.policy, p.h2 = "firefox", browser.PolicyFirefoxOrigin, true
+	case x < cfg.FirefoxShare+cfg.ChromeShare:
+		p.ua, p.policy, p.h2 = "chrome", browser.PolicyChromium, true
+	default:
+		p.ua = "legacy"
+	}
+	return p
+}
+
+// drawPools draws how many independent third-party pools a page view
+// opens (the Figure 7a control distribution: 83% one, tail to 7).
+func drawPools(rs *rand.Rand) int {
+	x := rs.Float64()
+	switch {
+	case x < 0.83:
+		return 1
+	case x < 0.93:
+		return 2
+	case x < 0.97:
+		return 3
+	case x < 0.985:
+		return 4
+	case x < 0.993:
+		return 5
+	case x < 0.998:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// drawVisits draws the user's visit count: geometric with the
+// configured mean, minimum one.
+func drawVisits(cfg Config, rs *rand.Rand) int {
+	n := 1
+	p := 1 - 1/cfg.VisitsMean // geometric continuation probability
+	for rs.Float64() < p {
+		n++
+	}
+	return n
+}
+
+// simulateUser runs one user's whole browsing history: a pure function
+// of (cfg, uid, arrivalMs) plus the shared read-only environment. The
+// user owns every piece of mutable state it touches — RNG, browser
+// pool, warm-path cache, and netsim stream — so users simulate in
+// parallel without ordering effects.
+func simulateUser(cfg Config, env *cdn.CDN, uid int, arrivalMs float64) []visit {
+	rs := rand.New(rand.NewSource(mix(cfg.Seed, uint64(uid)*2+1)))
+	net := netsim.New(cfg.Net, mix(cfg.Seed, uint64(uid)*2+2))
+	prof := drawProfile(cfg, rs, uid)
+
+	var b *browser.Browser
+	var cc *cache.Cache
+	if prof.h2 {
+		cc = cache.New(cfg.Cache)
+		b = browser.New(prof.policy)
+		b.Cache = cc
+	}
+
+	nVisits := drawVisits(cfg, rs)
+	visits := make([]visit, 0, nVisits)
+	now := arrivalMs
+	for seq := 0; seq < nVisits; seq++ {
+		if seq > 0 {
+			gapMs := rs.ExpFloat64() * cfg.RevisitMeanSec * 1000
+			now += gapMs
+			cc.Clock().AdvanceMs(int64(gapMs))
+			v := visit{UserID: uid, Seq: seq, ArrivalMs: now, PoP: prof.pop}
+			if b != nil && gapMs >= cfg.IdleTimeoutSec*1000 {
+				// The server's idle timeout closed every pooled
+				// connection while the user was away.
+				for _, host := range pooledHosts(b) {
+					v.Churned += b.DropConns(host)
+				}
+			}
+			runVisit(cfg, env, prof, b, rs, net, &v)
+			visits = append(visits, v)
+			continue
+		}
+		v := visit{UserID: uid, Seq: seq, ArrivalMs: now, PoP: prof.pop}
+		runVisit(cfg, env, prof, b, rs, net, &v)
+		visits = append(visits, v)
+	}
+	return visits
+}
+
+// pooledHosts snapshots the distinct hosts of the browser's pool
+// (DropConns mutates the pool, so the walk is taken first).
+func pooledHosts(b *browser.Browser) []string {
+	seen := map[string]bool{}
+	var hosts []string
+	for _, c := range b.Conns() {
+		if !seen[c.Host] {
+			seen[c.Host] = true
+			hosts = append(hosts, c.Host)
+		}
+	}
+	return hosts
+}
+
+// runVisit performs one page view: the home-zone request followed by
+// the page's third-party pools, accounting latency and connection
+// outcomes into v.
+func runVisit(cfg Config, env *cdn.CDN, prof userProfile, b *browser.Browser,
+	rs *rand.Rand, net *netsim.Network, v *visit) {
+	pools := drawPools(rs)
+	if !prof.h2 {
+		// Legacy clients: one fresh connection per request, no
+		// coalescing, no warm path.
+		for r := 0; r < 1+pools; r++ {
+			v.Requests++
+			v.FreshConns++
+			v.DNSQueries++
+			v.ClientMs += net.DNSTime() + net.ConnectTime() +
+				net.TLSTime(2, 1) + requestTime(rs, net)
+		}
+		v.ServiceMs = cfg.ServiceMs*float64(v.Requests) +
+			cfg.HandshakeSvcMs*float64(v.FreshConns)
+		return
+	}
+	accountRequest(b.Request(env, prof.zoneHost), rs, net, v)
+	for p := 0; p < pools; p++ {
+		accountRequest(b.Request(env, env.ThirdParty), rs, net, v)
+	}
+	v.ServiceMs = cfg.ServiceMs*float64(v.Requests) +
+		cfg.HandshakeSvcMs*float64(v.FreshConns)
+}
+
+// accountRequest folds one browser outcome into the visit, charging
+// the network phases the outcome implies.
+func accountRequest(out browser.Outcome, rs *rand.Rand, net *netsim.Network, v *visit) {
+	v.Requests++
+	v.DNSQueries += out.DNSQueries
+	v.DNSHits += out.DNSCacheHits
+	for q := 0; q < out.DNSQueries; q++ {
+		v.ClientMs += net.DNSTime()
+	}
+	if out.Err != nil {
+		v.Failed++
+		return
+	}
+	switch {
+	case out.Reused:
+		v.Reused++
+		if out.Coalesced() {
+			v.Coalesced++
+		}
+	case out.NewConnection:
+		v.FreshConns++
+		v.ClientMs += net.ConnectTime()
+		if out.ResumedTLS {
+			// Abbreviated handshake: no certificate chain to verify.
+			v.Resumed++
+			v.ClientMs += net.TLSTime(0, 1)
+		} else {
+			v.ClientMs += net.TLSTime(2, 1)
+		}
+	}
+	v.ClientMs += requestTime(rs, net)
+}
+
+// requestTime is the per-request cost every satisfied request pays:
+// time-to-first-byte plus body transfer for a drawn resource size.
+func requestTime(rs *rand.Rand, net *netsim.Network) float64 {
+	bytes := int64(2048 + rs.Intn(131072))
+	return net.WaitTime() + net.TransferTime(bytes)
+}

@@ -24,6 +24,7 @@ type Summary struct {
 	P90    float64
 	P95    float64
 	P99    float64
+	P999   float64 // the SLO-reporting tail quantile (p99.9)
 	IQR    float64
 }
 
@@ -51,6 +52,7 @@ func Summarize(xs []float64) Summary {
 		P90:    q(0.90),
 		P95:    q(0.95),
 		P99:    q(0.99),
+		P999:   q(0.999),
 	}
 	out.IQR = out.P75 - out.P25
 	return out

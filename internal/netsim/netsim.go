@@ -81,6 +81,19 @@ func DefaultParams() Params {
 }
 
 // Network generates phase durations. It is safe for concurrent use.
+//
+// Stream contract: every phase method (DNSTime, ConnectTime, TLSTime,
+// WaitTime, TransferTime) consumes exactly one jitter draw per call
+// when JitterMs > 0, and none when JitterMs <= 0 — independent of any
+// other parameter. Toggling BandwidthKBps (or any other knob) therefore
+// never shifts the seeded stream consumed by later phases, so runs that
+// differ only in such a knob stay comparable draw for draw. RaceEffects
+// consumes two draws per call.
+//
+// Locking contract: no phase method holds the internal mutex while
+// calling into the installed recorder, so a recorder may safely call
+// back into the Network (e.g. to draw auxiliary randomness) without
+// deadlocking.
 type Network struct {
 	P Params
 
@@ -137,14 +150,15 @@ func (n *Network) ConnectTime() float64 {
 // record cost an extra round trip (§6.5).
 func (n *Network) TLSTime(sanCount, tlsRecords int) float64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	rtts := n.P.TLSRoundTrips
 	if tlsRecords > 1 {
 		rtts += float64(tlsRecords - 1)
 	}
 	d := (rtts*n.P.RTTMs+n.P.CertVerifyMs+
 		float64(sanCount)*n.P.ExtraCertVerifyPerSANMs)*n.P.scale() + n.jitter()
-	obs.Observe(n.rec, "netsim.tls_ms", d)
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.tls_ms", d)
 	return d
 }
 
@@ -159,14 +173,21 @@ func (n *Network) WaitTime() float64 {
 }
 
 // TransferTime returns the receive duration for a body of size bytes.
+// With BandwidthKBps <= 0 the transfer model is off and the duration is
+// zero, but the jitter draw is still consumed and the (zero) sample is
+// still observed: skipping either would shift the seeded stream for
+// every later phase and silently drop "netsim.transfer_ms" samples when
+// the bandwidth knob is toggled.
 func (n *Network) TransferTime(bytes int64) float64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.P.BandwidthKBps <= 0 {
-		return 0
+	j := n.jitter()
+	d := 0.0
+	if n.P.BandwidthKBps > 0 {
+		d = float64(bytes)/n.P.BandwidthKBps*n.P.scale() + j/4
 	}
-	d := float64(bytes)/n.P.BandwidthKBps*n.P.scale() + n.jitter()/4
-	obs.Observe(n.rec, "netsim.transfer_ms", d)
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.transfer_ms", d)
 	return d
 }
 

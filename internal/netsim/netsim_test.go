@@ -2,6 +2,9 @@ package netsim
 
 import (
 	"testing"
+	"time"
+
+	"respectorigin/internal/obs"
 )
 
 func TestDeterminism(t *testing.T) {
@@ -110,6 +113,90 @@ func TestRaceEffectsDisabled(t *testing.T) {
 		if e, s := n.RaceEffects(); e != 0 || s {
 			t.Fatal("race effects fired with zero probabilities")
 		}
+	}
+}
+
+// reentrantRecorder calls back into the Network from Observe, the way a
+// recorder that derives auxiliary randomness (or re-measures) would. If
+// any phase method still held the Network mutex across the Observe
+// call, this would self-deadlock.
+type reentrantRecorder struct {
+	net     *Network
+	samples map[string]int
+}
+
+func (r *reentrantRecorder) Count(string, int64)  {}
+func (r *reentrantRecorder) Event(obs.Event)      {}
+func (r *reentrantRecorder) Observe(hist string, ms float64) {
+	r.samples[hist]++
+	_ = r.net.Float64() // re-entrant: must not deadlock
+}
+
+func TestRecorderReentrancyNoDeadlock(t *testing.T) {
+	n := New(DefaultParams(), 7)
+	rec := &reentrantRecorder{net: n, samples: map[string]int{}}
+	n.SetRecorder(rec)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n.DNSTime()
+		n.ConnectTime()
+		n.TLSTime(3, 2)
+		n.WaitTime()
+		n.TransferTime(5000)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("phase method deadlocked: recorder called back into Network while the mutex was held")
+	}
+	for _, h := range []string{"netsim.dns_ms", "netsim.connect_ms", "netsim.tls_ms", "netsim.wait_ms", "netsim.transfer_ms"} {
+		if rec.samples[h] != 1 {
+			t.Errorf("%s observed %d times, want 1", h, rec.samples[h])
+		}
+	}
+}
+
+// TestTransferStreamInvariance pins the stream contract: toggling
+// BandwidthKBps must not shift the seeded jitter stream consumed by
+// later phases. Before the fix, a zero-bandwidth TransferTime returned
+// early without consuming its draw, desynchronizing every subsequent
+// phase from an otherwise-identical run.
+func TestTransferStreamInvariance(t *testing.T) {
+	pa := DefaultParams()
+	pb := DefaultParams()
+	pb.BandwidthKBps = 0
+	a := New(pa, 42)
+	b := New(pb, 42)
+	for i := 0; i < 50; i++ {
+		a.TransferTime(10000)
+		if got := b.TransferTime(10000); got != 0 {
+			t.Fatalf("zero-bandwidth transfer = %v, want 0", got)
+		}
+		if da, db := a.DNSTime(), b.DNSTime(); da != db {
+			t.Fatalf("iteration %d: DNS draws diverged after transfer (%v vs %v): bandwidth toggle shifted the stream", i, da, db)
+		}
+	}
+}
+
+// TestTransferObservedWhenBandwidthOff pins the other half of the bug:
+// zero-bandwidth transfers must still land in the transfer histogram
+// rather than silently dropping samples.
+func TestTransferObservedWhenBandwidthOff(t *testing.T) {
+	p := DefaultParams()
+	p.BandwidthKBps = 0
+	n := New(p, 1)
+	m := obs.NewMetrics()
+	n.SetRecorder(m)
+	for i := 0; i < 10; i++ {
+		n.TransferTime(12345)
+	}
+	s := m.HistSummary("netsim.transfer_ms")
+	if s.N != 10 {
+		t.Fatalf("netsim.transfer_ms has %d samples, want 10 (zero-bandwidth transfers dropped)", s.N)
+	}
+	if s.Max != 0 {
+		t.Errorf("zero-bandwidth transfer samples should be 0, max = %v", s.Max)
 	}
 }
 

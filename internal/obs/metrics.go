@@ -141,9 +141,25 @@ func (h *Hist) Summary() measure.Summary {
 		P90:    q(0.90),
 		P95:    q(0.95),
 		P99:    q(0.99),
+		P999:   q(0.999),
 	}
 	s.IQR = s.P75 - s.P25
 	return s
+}
+
+// Quantile returns the bucket-interpolated p-quantile of the histogram
+// over a consistent snapshot of the bucket counts. It is an estimate
+// (uniform-within-bucket), exact at the observed min and max; SLO
+// reporting that needs exact tail order statistics should pair the
+// histogram with a *Quantile.
+func (h *Hist) Quantile(p float64) float64 {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return h.quantile(counts, total, p)
 }
 
 // Metrics is the counter + histogram recorder. The zero value is not
@@ -249,6 +265,19 @@ func (m *Metrics) HistSummary(name string) measure.Summary {
 	return h.Summary()
 }
 
+// HistQuantile returns the bucket-interpolated p-quantile of the named
+// histogram (0 if absent) — the percentile surface behind the p50/p90/
+// p99/p99.9 latency tracking of the serving-mode reports.
+func (m *Metrics) HistQuantile(name string, p float64) float64 {
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h == nil {
+		return 0
+	}
+	return h.Quantile(p)
+}
+
 // Counters returns a sorted snapshot of all counters.
 func (m *Metrics) Counters() map[string]int64 {
 	m.mu.RLock()
@@ -282,8 +311,8 @@ func (m *Metrics) String() string {
 	sort.Strings(hnames)
 	for _, k := range hnames {
 		s := m.HistSummary(k)
-		fmt.Fprintf(&b, "%-40s n=%-8d mean=%-8.1f p50=%-8.1f p90=%-8.1f p99=%-8.1f max=%.1f\n",
-			k, s.N, s.Mean, s.Median, s.P90, s.P99, s.Max)
+		fmt.Fprintf(&b, "%-40s n=%-8d mean=%-8.1f p50=%-8.1f p90=%-8.1f p99=%-8.1f p99.9=%-8.1f max=%.1f\n",
+			k, s.N, s.Mean, s.Median, s.P90, s.P99, s.P999, s.Max)
 	}
 	return b.String()
 }
@@ -313,7 +342,7 @@ func (m *Metrics) PublishExpvar(prefix string) {
 			s := m.HistSummary(k)
 			out[k] = map[string]any{
 				"n": s.N, "mean": s.Mean, "p50": s.Median,
-				"p90": s.P90, "p99": s.P99, "max": s.Max,
+				"p90": s.P90, "p99": s.P99, "p999": s.P999, "max": s.Max,
 			}
 		}
 		return out

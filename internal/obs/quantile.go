@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// quantileChunkSize sizes the append-only sample chunks. Matching the
+// trace layer's chunking keeps the append path allocation-amortized:
+// one chunk allocation per 4096 samples, never a whole-slice copy.
+const quantileChunkSize = 4096
+
+// Quantile is an exact streaming quantile accumulator: an append-only
+// sample store whose order statistics are computed on demand from the
+// full retained sample. Where *Hist answers percentile queries from
+// fixed buckets (constant memory, interpolated answers), Quantile keeps
+// every observation, so At returns the true order statistic — the
+// contract SLO reporting needs, where a bucket-interpolation error at
+// p99.9 can move a latency objective across its threshold.
+//
+// Memory is linear in the sample count (8 bytes per observation:
+// ~8 MB per million samples), which is the deliberate trade against the
+// histogram. It is safe for concurrent use; note that the value of At
+// depends only on the multiset of observed samples, never on their
+// arrival order, so concurrent writers cannot perturb a summary.
+type Quantile struct {
+	mu     sync.Mutex
+	chunks [][]float64
+	n      int
+	sorted []float64 // cached flattened sort; valid when !dirty
+	dirty  bool
+}
+
+// NewQuantile returns an empty accumulator.
+func NewQuantile() *Quantile { return &Quantile{} }
+
+// Observe appends one sample.
+func (q *Quantile) Observe(v float64) {
+	q.mu.Lock()
+	last := len(q.chunks) - 1
+	if last < 0 || len(q.chunks[last]) == cap(q.chunks[last]) {
+		q.chunks = append(q.chunks, make([]float64, 0, quantileChunkSize))
+		last++
+	}
+	q.chunks[last] = append(q.chunks[last], v)
+	q.n++
+	q.dirty = true
+	q.mu.Unlock()
+}
+
+// N returns the sample count.
+func (q *Quantile) N() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// At returns the exact p-quantile (0 ≤ p ≤ 1) of every observed sample,
+// using the same type-7 interpolation between order statistics as
+// measure.Quantile. An empty accumulator returns 0. The flatten-and-
+// sort is cached and only recomputed after new observations.
+func (q *Quantile) At(p float64) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return 0
+	}
+	if q.dirty {
+		s := make([]float64, 0, q.n)
+		for _, c := range q.chunks {
+			s = append(s, c...)
+		}
+		sort.Float64s(s)
+		q.sorted = s
+		q.dirty = false
+	}
+	s := q.sorted
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(h)
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// CountAtOrBelow returns how many samples are ≤ x — the SLO-attainment
+// numerator for a latency objective of x.
+func (q *Quantile) CountAtOrBelow(x float64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, c := range q.chunks {
+		for _, v := range c {
+			if v <= x {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Merge folds every sample of o into q. Merging is order-insensitive
+// (the quantile depends only on the sample multiset), so per-shard
+// accumulators recombine deterministically regardless of worker count.
+func (q *Quantile) Merge(o *Quantile) {
+	if o == nil || o == q {
+		return
+	}
+	o.mu.Lock()
+	var samples []float64
+	for _, c := range o.chunks {
+		samples = append(samples, c...)
+	}
+	o.mu.Unlock()
+	for _, v := range samples {
+		q.Observe(v)
+	}
+}

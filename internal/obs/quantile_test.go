@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"respectorigin/internal/measure"
+)
+
+func TestQuantileExactOrderStatistics(t *testing.T) {
+	q := NewQuantile()
+	// 1..100 in scrambled order: quantiles must match measure.Quantile
+	// over the same sample (shared type-7 interpolation).
+	rs := rand.New(rand.NewSource(7))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	rs.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		q.Observe(v)
+	}
+	if q.N() != 100 {
+		t.Fatalf("N = %d, want 100", q.N())
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := measure.Quantile(xs, p)
+		if got := q.At(p); got != want {
+			t.Errorf("At(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	q := NewQuantile()
+	if got := q.At(0.5); got != 0 {
+		t.Fatalf("empty At(0.5) = %g, want 0", got)
+	}
+	q.Observe(42)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := q.At(p); got != 42 {
+			t.Fatalf("single-sample At(%g) = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestQuantileCrossesChunkBoundary(t *testing.T) {
+	q := NewQuantile()
+	n := quantileChunkSize*2 + 100
+	for i := n; i > 0; i-- { // descending, so sorting must actually work
+		q.Observe(float64(i))
+	}
+	if q.N() != n {
+		t.Fatalf("N = %d, want %d", q.N(), n)
+	}
+	if got := q.At(0); got != 1 {
+		t.Errorf("At(0) = %g, want 1", got)
+	}
+	if got := q.At(1); got != float64(n) {
+		t.Errorf("At(1) = %g, want %d", got, n)
+	}
+	// Interleave more observations after a query: the dirty flag must
+	// invalidate the cached sort.
+	q.Observe(float64(n + 1))
+	if got := q.At(1); got != float64(n+1) {
+		t.Errorf("after new max, At(1) = %g, want %d", got, n+1)
+	}
+}
+
+func TestQuantileCountAtOrBelow(t *testing.T) {
+	q := NewQuantile()
+	for i := 1; i <= 10; i++ {
+		q.Observe(float64(i) * 10) // 10..100
+	}
+	if got := q.CountAtOrBelow(50); got != 5 {
+		t.Errorf("CountAtOrBelow(50) = %d, want 5", got)
+	}
+	if got := q.CountAtOrBelow(5); got != 0 {
+		t.Errorf("CountAtOrBelow(5) = %d, want 0", got)
+	}
+	if got := q.CountAtOrBelow(1000); got != 10 {
+		t.Errorf("CountAtOrBelow(1000) = %d, want 10", got)
+	}
+}
+
+func TestQuantileMergeMatchesCombined(t *testing.T) {
+	a, b, all := NewQuantile(), NewQuantile(), NewQuantile()
+	rs := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v := rs.ExpFloat64() * 100
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	a.Merge(a)   // self-merge no-op
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := a.At(p), all.At(p); got != want {
+			t.Errorf("merged At(%g) = %g, want %g", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"respectorigin/internal/loadgen"
+)
+
+// UnderLoadTable renders a sweep of open-loop serving runs as the
+// under-load report: one row per offered-load point, showing how the
+// latency tail, SLO attainment, and coalescing rate move as demand
+// grows — the serving-side counterpart of Figure 9, where coalescing's
+// value appears as handshake work the PoPs never had to queue.
+func UnderLoadTable(results []loadgen.Result) string {
+	var b strings.Builder
+	b.WriteString("Serving under load (open-loop arrivals):\n")
+	b.WriteString("  offered       p50       p90       p99     p99.9      wait    SLO%   coalesce  fresh-conns\n")
+	b.WriteString("   req/s         ms        ms        ms        ms        ms\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %7.0f  %8.1f  %8.1f  %8.1f  %8.1f  %8.1f  %6.2f  %8.3f  %11d\n",
+			r.OfferedRPS, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms,
+			r.MeanWaitMs, 100*r.SLOAttainment, r.CoalesceRate, r.FreshConns)
+	}
+	return b.String()
+}

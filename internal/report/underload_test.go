@@ -1,0 +1,34 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"respectorigin/internal/loadgen"
+)
+
+func TestUnderLoadTable(t *testing.T) {
+	cfg := loadgen.DefaultConfig()
+	cfg.Users = 1500
+	cfg.PoPs = 2
+	cfg.PoPServers = 2
+	results, err := loadgen.Sweep(cfg, []float64{0.5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := UnderLoadTable(results)
+	if !strings.Contains(txt, "Serving under load") || !strings.Contains(txt, "p99.9") {
+		t.Fatalf("table missing headings:\n%s", txt)
+	}
+	if got := strings.Count(strings.TrimRight(txt, "\n"), "\n"); got != 4 {
+		t.Fatalf("table has %d lines, want 4 (title + 2 headers + 2 rows):\n%s", got+1, txt)
+	}
+	// The high-load row must show a worse tail than the light-load row.
+	if results[1].P999Ms <= results[0].P999Ms {
+		t.Errorf("p99.9 %.1f at 8x not above %.1f at 0.5x", results[1].P999Ms, results[0].P999Ms)
+	}
+	if results[1].SLOAttainment >= results[0].SLOAttainment {
+		t.Errorf("SLO %.3f at 8x not below %.3f at 0.5x",
+			results[1].SLOAttainment, results[0].SLOAttainment)
+	}
+}

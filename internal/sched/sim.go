@@ -80,7 +80,15 @@ func DeliverCoalesced(resources []Resource, bandwidthKBps float64) []Delivery {
 		// fair sharing: resources finish in order of size; when one
 		// finishes, the rest share its bandwidth.
 		remaining := append([]Resource(nil), group...)
-		sort.Slice(remaining, func(i, j int) bool { return remaining[i].Bytes < remaining[j].Bytes })
+		// Key by (Bytes, ID): sort.Slice is not stable, so equal-size
+		// resources would otherwise complete in implementation-defined
+		// order that varies with the input permutation.
+		sort.Slice(remaining, func(i, j int) bool {
+			if remaining[i].Bytes != remaining[j].Bytes {
+				return remaining[i].Bytes < remaining[j].Bytes
+			}
+			return remaining[i].ID < remaining[j].ID
+		})
 		left := make([]float64, len(remaining))
 		for i, r := range remaining {
 			left[i] = r.Bytes
@@ -158,7 +166,15 @@ func DeliverParallel(resources []Resource, p ParallelParams) []Delivery {
 		}
 		_ = c
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].CompleteMs < out[j].CompleteMs })
+	// Key by (CompleteMs, ID): simultaneous completions (equal queue
+	// shapes across connections) must not land in implementation-defined
+	// order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CompleteMs != out[j].CompleteMs {
+			return out[i].CompleteMs < out[j].CompleteMs
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
