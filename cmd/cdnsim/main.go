@@ -29,6 +29,7 @@ import (
 	"respectorigin/internal/cdn"
 	"respectorigin/internal/core"
 	"respectorigin/internal/faults"
+	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 )
@@ -55,9 +56,16 @@ func main() {
 	cacheOn := flag.Bool("cache", false, "enable the warm-path client cache and print the warm/cold savings table")
 	revisits := flag.Int("revisits", 1, "visits per zone in the warm/cold measurement (with -cache)")
 	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
+	protoName := flag.String("proto", "h2", "application protocol for the warm/cold measurement (h1, h2, h3)")
+	protoSweep := flag.Bool("proto-sweep", false, "print the per-protocol (h1/h2/h3) savings decomposition for the deployment sample and exit")
 	flag.Parse()
 
 	plan, err := faults.ParsePlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+		os.Exit(2)
+	}
+	proto, err := core.ParseProtocol(*protoName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
 		os.Exit(2)
@@ -96,6 +104,12 @@ func main() {
 	sess := core.NewSession(*seed, sessOpts...)
 	d := report.NewDeploymentSession(*sample, sess)
 
+	if *protoSweep {
+		sweep := d.ProtoSweep(*revisits, cacheOptions(*ticketLife))
+		fmt.Print(report.ProtoSweepTable(sweep, netsim.DefaultParams(), "deployment sample, IP phase"))
+		return
+	}
+
 	fmt.Println(d.Figure6())
 
 	runIP := *phase == "ip" || *phase == "all"
@@ -129,8 +143,12 @@ func main() {
 	if *cacheOn {
 		// Runs last: the warm/cold pass touches neither the pipeline
 		// nor the experiment RNG, so earlier output is unaffected.
-		costs := d.WarmCold(*revisits, sess.CacheOpts)
-		fmt.Println(report.SavingsTable(costs, "deployment sample, IP phase"))
+		costs := d.WarmColdProto(*revisits, sess.CacheOpts, proto)
+		label := "deployment sample, IP phase"
+		if proto != core.ProtoH2 {
+			label += ", " + proto.String()
+		}
+		fmt.Println(report.SavingsTable(costs, label))
 	}
 	if trace != nil {
 		w := os.Stdout

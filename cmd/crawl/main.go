@@ -22,6 +22,7 @@ import (
 	"respectorigin/internal/cache"
 	"respectorigin/internal/core"
 	"respectorigin/internal/har"
+	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
@@ -36,7 +37,15 @@ func main() {
 	cacheOn := flag.Bool("cache", false, "replay each page against a warm-path cache and print the savings table to stderr")
 	revisits := flag.Int("revisits", 1, "visits per page in the warm/cold replay (with -cache)")
 	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
+	protoName := flag.String("proto", "h2", "application protocol for the -cache replay (h1, h2, h3)")
+	protoSweep := flag.Bool("proto-sweep", false, "replay each page under every protocol and print the per-protocol savings table to stderr")
 	flag.Parse()
+
+	proto, err := core.ParseProtocol(*protoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(2)
+	}
 
 	cacheOpts := cache.Options{TicketLifetimeSeconds: *ticketLife}
 	if *ticketLife == 0 {
@@ -77,8 +86,27 @@ func main() {
 		warmCosts = make([]core.VisitCosts, *revisits)
 		inner := emit
 		emit = func(p *har.Page) error {
-			for v, vc := range core.WarmReplaySequence(p, *revisits, cacheOpts) {
+			for v, vc := range core.ProtocolReplaySequence(p, *revisits, cacheOpts, proto) {
 				warmCosts[v].Add(vc)
+			}
+			return inner(p)
+		}
+	}
+	var sweepCosts []report.ProtoCosts
+	if *protoSweep {
+		// Same streaming fold, once per protocol: each page is replayed
+		// under h1, h2 and h3 against its own fresh caches, so the sweep
+		// rides the generation pass without a second corpus walk.
+		sweepCosts = make([]report.ProtoCosts, len(core.Protocols))
+		for i, pr := range core.Protocols {
+			sweepCosts[i] = report.ProtoCosts{Proto: pr, Visits: make([]core.VisitCosts, *revisits)}
+		}
+		inner := emit
+		emit = func(p *har.Page) error {
+			for i := range sweepCosts {
+				for v, vc := range core.ProtocolReplaySequence(p, *revisits, cacheOpts, sweepCosts[i].Proto) {
+					sweepCosts[i].Visits[v].Add(vc)
+				}
 			}
 			return inner(p)
 		}
@@ -95,7 +123,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "crawl: %d successful page loads (%d failures) -> %s\n",
 		res.Pages, res.Failures, *out)
 	if *cacheOn {
-		fmt.Fprint(os.Stderr, report.SavingsTable(warmCosts, "crawl corpus"))
+		label := "crawl corpus"
+		if proto != core.ProtoH2 {
+			label = "crawl corpus, " + proto.String()
+		}
+		fmt.Fprint(os.Stderr, report.SavingsTable(warmCosts, label))
+	}
+	if *protoSweep {
+		fmt.Fprint(os.Stderr, report.ProtoSweepTable(sweepCosts, netsim.DefaultParams(), "crawl corpus"))
 	}
 	if trace != nil {
 		f, err := os.Create(*traceOut)

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"respectorigin/internal/core"
 	"respectorigin/internal/loadgen"
 	"respectorigin/internal/report"
 )
@@ -40,8 +41,15 @@ func main() {
 	revisitSec := flag.Float64("revisit-sec", def.RevisitMeanSec, "mean gap between a user's visits in seconds")
 	idleSec := flag.Float64("idle-timeout-sec", def.IdleTimeoutSec, "server idle timeout closing pooled connections")
 	sweep := flag.String("sweep", "", "comma-separated rate multipliers; runs one point per value and prints the under-load table")
+	protoName := flag.String("proto", "h2", "application protocol modern clients speak: h1 | h2 | h3")
 	out := flag.String("out", "", "write the NDJSON summary to this file (- for stdout)")
 	flag.Parse()
+
+	proto, err := core.ParseProtocol(*protoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := def
 	cfg.Users = *users
@@ -56,6 +64,7 @@ func main() {
 	cfg.VisitsMean = *visitsMean
 	cfg.RevisitMeanSec = *revisitSec
 	cfg.IdleTimeoutSec = *idleSec
+	cfg.Proto = proto
 
 	var results []loadgen.Result
 	if *sweep != "" {

@@ -17,7 +17,9 @@ import (
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/cache"
+	"respectorigin/internal/core"
 	"respectorigin/internal/har"
+	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
@@ -40,7 +42,15 @@ func main() {
 	cacheOn := flag.Bool("cache", false, "print the warm-path cache warm/cold savings table and exit")
 	revisits := flag.Int("revisits", 2, "visits per page in the warm/cold replay (with -cache)")
 	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
+	protoName := flag.String("proto", "h2", "application protocol for the -cache replay (h1, h2, h3)")
+	protoSweep := flag.Bool("proto-sweep", false, "print the per-protocol (h1/h2/h3) savings decomposition table and exit")
 	flag.Parse()
+
+	proto, err := core.ParseProtocol(*protoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
 
 	if *funnelFile != "" {
 		f, err := os.Open(*funnelFile)
@@ -114,12 +124,20 @@ func main() {
 	}
 	c := report.NewCorpusWorkers(ds, *workers)
 
-	if *cacheOn {
+	if *cacheOn || *protoSweep {
 		opts := cache.Options{TicketLifetimeSeconds: *ticketLife}
 		if *ticketLife == 0 {
 			opts.TicketLifetimeSeconds = cache.TicketsDisabled
 		}
-		fmt.Print(report.SavingsTable(c.WarmCold(*revisits, opts), "corpus"))
+		if *protoSweep {
+			fmt.Print(report.ProtoSweepTable(c.ProtoSweep(*revisits, opts), netsim.DefaultParams(), "corpus"))
+			return
+		}
+		label := "corpus"
+		if proto != core.ProtoH2 {
+			label = "corpus, " + proto.String()
+		}
+		fmt.Print(report.SavingsTable(c.WarmColdProto(*revisits, opts, proto), label))
 		return
 	}
 

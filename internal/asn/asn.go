@@ -185,6 +185,8 @@ func (db *DB) Entries() []Entry {
 	}
 	walk(db.v4)
 	walk(db.v6)
+	// Each trie node stores at most one entry and sits at a distinct
+	// prefix, so the keys are unique and the unstable sort is total.
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
 	return out
 }

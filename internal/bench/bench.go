@@ -30,12 +30,13 @@ func (bm Benchmark) ID() string { return bm.Suite + "/" + bm.Name }
 // MicroSuites are the per-package hot-path suites; "micro" selects all
 // of them at once. The pipeline suite is excluded: it runs the full
 // corpus→crawl→report stack and is priced accordingly.
-var MicroSuites = []string{"hpack", "h2", "obs", "measure"}
+var MicroSuites = []string{"hpack", "qpack", "h2", "obs", "measure"}
 
 // All returns every registered benchmark in deterministic order.
 func All() []Benchmark {
 	var out []Benchmark
 	out = append(out, hpackSuite()...)
+	out = append(out, qpackSuite()...)
 	out = append(out, h2Suite()...)
 	out = append(out, obsSuite()...)
 	out = append(out, measureSuite()...)

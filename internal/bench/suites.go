@@ -13,6 +13,7 @@ import (
 	"respectorigin/internal/hpack"
 	"respectorigin/internal/measure"
 	"respectorigin/internal/obs"
+	"respectorigin/internal/qpack"
 	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
 )
@@ -104,6 +105,53 @@ func hpackSuite() []Benchmark {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				buf = e.AppendHeaderBlock(buf[:0], fields)
+			}
+		}},
+	}
+}
+
+// --- qpack suite ---
+
+func qpackSuite() []Benchmark {
+	return []Benchmark{
+		{Suite: "qpack", Name: "EncodeFieldSection", Gated: true, F: func(b *testing.B) {
+			fields := corpusHeaderFields()
+			var e qpack.Encoder
+			var buf []byte
+			buf = e.AppendFieldSection(buf, fields)
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = e.AppendFieldSection(buf[:0], fields)
+			}
+		}},
+		{Suite: "qpack", Name: "DecodeFieldSection", Gated: false, F: func(b *testing.B) {
+			var e qpack.Encoder
+			sec := e.AppendFieldSection(nil, corpusHeaderFields())
+			var d qpack.Decoder
+			b.SetBytes(int64(len(sec)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DecodeFieldSection(sec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Suite: "qpack", Name: "RoundTrip", Gated: false, F: func(b *testing.B) {
+			fields := corpusHeaderFields()
+			var e qpack.Encoder
+			var d qpack.Decoder
+			sec := e.AppendFieldSection(nil, fields)
+			b.SetBytes(int64(len(sec)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sec = e.AppendFieldSection(sec[:0], fields)
+				if _, err := d.DecodeFieldSection(sec); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}

@@ -116,6 +116,10 @@ type Conn struct {
 
 	// Origins is the origin set advertised on this connection.
 	Origins map[string]bool
+
+	// Proto is the protocol this connection speaks (may differ from the
+	// browser's configured protocol after an Alt-Svc h3→h2 downgrade).
+	Proto Protocol
 }
 
 // covers reports whether the connection's certificate covers host,
@@ -175,6 +179,16 @@ type Outcome struct {
 	NegCacheHit  bool // lookup answered by the negative DNS cache
 	ResumedTLS   bool // new connection established via ticket resumption
 	CertMemoHit  bool // full handshake, but chain validation memoized
+
+	// Protocol accounting. Proto is the protocol the satisfying
+	// connection speaks (for reuse, the carrying connection's protocol).
+	// ZeroRTT and AddrTokenHit are only ever set on h3 connections: a
+	// 0-RTT handshake requires both a session ticket (ResumedTLS) and an
+	// address-validation token (AddrTokenHit); a token alone merely
+	// skips the Retry round trip.
+	Proto        Protocol
+	ZeroRTT      bool // h3 handshake completed in zero round trips
+	AddrTokenHit bool // address-validation token skipped the Retry RTT
 }
 
 // Coalesced reports whether the request rode a connection opened for a
@@ -186,6 +200,13 @@ func (o Outcome) Coalesced() bool { return o.Reused && o.ConnHost != o.Host }
 // concurrent use; page loads are sequential per browsing context.
 type Browser struct {
 	Policy Policy
+
+	// Proto is the application protocol the browser speaks on fresh
+	// connections. The zero value (ProtoH2) preserves the historical
+	// TCP+TLS behaviour byte for byte; ProtoH1 disables cross-host
+	// coalescing (keep-alive only); ProtoH3 pays QUIC handshake costs
+	// and may redeem address-validation tokens for 0-RTT.
+	Proto Protocol
 
 	// SkipOriginDNS suppresses the DNS query for hosts found in an
 	// origin set (the §6.8 recommended client behaviour). Only
@@ -236,6 +257,10 @@ type Browser struct {
 	TotalCertMemoHits int // chain validations skipped via the memo
 	TotalValidations  int // full certificate-chain validations performed
 
+	// h3-path totals (all zero unless Proto is ProtoH3).
+	TotalZeroRTT    int // 0-RTT handshakes (ticket + token both on hand)
+	TotalAddrTokens int // address-validation token hits
+
 	// Per-outcome failure accounting.
 	TotalRetries   int
 	TotalBackoffMs float64
@@ -277,6 +302,8 @@ func (b *Browser) Reset() {
 	b.TotalResumed = 0
 	b.TotalCertMemoHits = 0
 	b.TotalValidations = 0
+	b.TotalZeroRTT = 0
+	b.TotalAddrTokens = 0
 }
 
 // DropConns removes every pooled connection opened for host (the pool's
@@ -324,10 +351,12 @@ func (b *Browser) emit(ev obs.Event) {
 // Request fetches host through the pool, coalescing when the policy
 // permits.
 func (b *Browser) Request(env Environment, host string) Outcome {
-	out := Outcome{Host: host}
+	out := Outcome{Host: host, Proto: b.Proto}
 
-	// ORIGIN-frame path: check origin sets before DNS.
-	if b.Policy == PolicyFirefoxOrigin {
+	// ORIGIN-frame path: check origin sets before DNS. HTTP/1.1 has no
+	// frame layer to carry ORIGIN on, so the path only exists for the
+	// multiplexed protocols.
+	if b.Policy == PolicyFirefoxOrigin && b.Proto != ProtoH1 {
 		if c := b.findByOrigin(host); c != nil {
 			var addrs []netip.Addr
 			var lookupErr error
@@ -340,6 +369,7 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 			if env.Reachable(host, c.IP) {
 				out.Reused, out.ViaOrigin = true, true
 				out.ConnHost = c.Host
+				out.Proto = c.Proto
 				b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "origin"})
 				b.account(out)
 				return out
@@ -379,6 +409,7 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 		if env.Reachable(host, c.IP) {
 			out.Reused = true
 			out.ConnHost = c.Host
+			out.Proto = c.Proto
 			b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "ip"})
 			b.account(out)
 			return out
@@ -404,6 +435,11 @@ func (b *Browser) findByOrigin(host string) *Conn {
 func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
 	for _, c := range b.conns {
 		if !c.covers(host) {
+			continue
+		}
+		// HTTP/1.1 connections are keep-alive only: a second hostname
+		// cannot ride them even when the certificate would allow it.
+		if b.Proto == ProtoH1 && c.Host != host {
 			continue
 		}
 		switch b.Policy {
@@ -542,14 +578,16 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 			return out
 		}
 	}
+	proto := b.connProto(env, host)
 	c := &Conn{
 		Host:      host,
 		IP:        ip,
 		Available: append([]netip.Addr(nil), addrs...),
 		SANs:      env.CertSANs(host, ip),
 		Origins:   map[string]bool{},
+		Proto:     proto,
 	}
-	if b.Policy == PolicyFirefoxOrigin {
+	if b.Policy == PolicyFirefoxOrigin && proto != ProtoH1 {
 		for _, o := range env.OriginSet(host, ip) {
 			c.Origins[o] = true
 		}
@@ -563,18 +601,21 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 	b.conns = append(b.conns, c)
 	out.NewConnection = true
 	out.ConnHost = host
+	out.Proto = proto
 	if b.Cache != nil {
 		// Warm path: a stored ticket whose certificate coverage includes
 		// this host resumes the handshake — no full handshake, no chain
 		// validation (arXiv:1902.02531 resumption-across-hostnames).
 		// Otherwise a full handshake runs, validating the chain unless
 		// the memo has seen it before. Either way the new session mints
-		// a ticket for future visits.
-		if out.ResumedTLS = b.Cache.RedeemTicket(host); out.ResumedTLS {
+		// a ticket for future visits. Tickets are protocol-keyed: an h2
+		// ticket never resumes an h3 session or vice versa.
+		wire := proto.Wire()
+		if out.ResumedTLS = b.Cache.RedeemTicketProto(host, wire); out.ResumedTLS {
 			b.TotalResumed++
 			b.emit(obs.Event{Kind: obs.KindTLSResume, Host: host, Detail: ip.String()})
 		} else {
-			b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+			b.emit(obs.Event{Kind: handshakeKind(proto), Host: host, Detail: ip.String()})
 			if out.CertMemoHit = b.Cache.ValidateChain("", c.SANs); out.CertMemoHit {
 				b.TotalCertMemoHits++
 				b.emit(obs.Event{Kind: obs.KindCertMemoHit, Host: host})
@@ -582,10 +623,24 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 				b.TotalValidations++
 			}
 		}
-		b.Cache.StoreTicket(c.SANs)
+		b.Cache.StoreTicketProto(c.SANs, wire)
+		if proto == ProtoH3 {
+			// Shared address validation (arXiv:2204.03399-style): a token
+			// minted for any SAN-covered hostname skips the Retry round
+			// trip; with a ticket on hand as well the handshake is 0-RTT.
+			if out.AddrTokenHit = b.Cache.RedeemToken(host, wire); out.AddrTokenHit {
+				b.TotalAddrTokens++
+				b.emit(obs.Event{Kind: obs.KindAddrTokenHit, Host: host})
+			}
+			if out.ZeroRTT = out.ResumedTLS && out.AddrTokenHit; out.ZeroRTT {
+				b.TotalZeroRTT++
+				b.emit(obs.Event{Kind: obs.KindZeroRTT, Host: host, Detail: ip.String()})
+			}
+			b.Cache.StoreToken(c.SANs, wire)
+		}
 	} else {
 		b.TotalValidations++
-		b.emit(obs.Event{Kind: obs.KindTLSHandshake, Host: host, Detail: ip.String()})
+		b.emit(obs.Event{Kind: handshakeKind(proto), Host: host, Detail: ip.String()})
 	}
 	if len(c.Origins) > 0 {
 		b.emit(obs.Event{Kind: obs.KindOriginFrame, Host: host, N: len(c.Origins)})
@@ -634,6 +689,15 @@ func (b *Browser) account(out Outcome) {
 		}
 		if out.CertMemoHit {
 			obs.Count(b.Rec, "browser.cert_memo_hits", 1)
+		}
+		if out.NewConnection && out.Proto == ProtoH3 {
+			obs.Count(b.Rec, "browser.quic_handshakes", 1)
+		}
+		if out.ZeroRTT {
+			obs.Count(b.Rec, "browser.zero_rtt", 1)
+		}
+		if out.AddrTokenHit {
+			obs.Count(b.Rec, "browser.addr_token_hits", 1)
 		}
 	}
 }

@@ -79,6 +79,11 @@ type Options struct {
 	// SingleUseTickets removes a ticket on redemption (TLS 1.3
 	// anti-replay discipline); off, a ticket serves until it expires.
 	SingleUseTickets bool
+	// TokenLifetimeSeconds bounds QUIC address-validation token
+	// validity. 0 selects DefaultTokenLifetimeSeconds; TicketsDisabled
+	// (any negative value) disables the token store, so every h3
+	// connection without 0-RTT pays the Retry round trip.
+	TokenLifetimeSeconds int
 	// RevisitIntervalMs is the simulated time between successive visits
 	// in warm/cold sequences. ≤ 0 selects DefaultRevisitIntervalMs.
 	RevisitIntervalMs int64
@@ -90,7 +95,12 @@ const (
 	DefaultNegativeTTLSeconds    = 60
 	DefaultDNSTTLSeconds         = 300
 	DefaultTicketLifetimeSeconds = 7200
-	DefaultRevisitIntervalMs     = 60_000
+	// DefaultTokenLifetimeSeconds is deliberately longer than the
+	// ticket lifetime: address-validation tokens prove the client's
+	// address, not a session, and servers hand them out with day-scale
+	// validity in the shared-validation model.
+	DefaultTokenLifetimeSeconds = 86_400
+	DefaultRevisitIntervalMs    = 60_000
 )
 
 // TicketsDisabled, assigned to Options.TicketLifetimeSeconds, turns the
@@ -111,6 +121,9 @@ func (o Options) withDefaults() Options {
 	if o.TicketLifetimeSeconds == 0 {
 		o.TicketLifetimeSeconds = DefaultTicketLifetimeSeconds
 	}
+	if o.TokenLifetimeSeconds == 0 {
+		o.TokenLifetimeSeconds = DefaultTokenLifetimeSeconds
+	}
 	if o.RevisitIntervalMs <= 0 {
 		o.RevisitIntervalMs = DefaultRevisitIntervalMs
 	}
@@ -125,6 +138,7 @@ type Cache struct {
 
 	DNS     *DNSCache
 	Tickets *TicketStore
+	Tokens  *TokenStore
 	Chains  *CertMemo
 }
 
@@ -135,6 +149,7 @@ func New(opts Options) *Cache {
 	c := &Cache{opts: opts}
 	c.DNS = newDNSCache(opts.DNSCapacity)
 	c.Tickets = newTicketStore(int64(opts.TicketLifetimeSeconds)*1000, opts.SingleUseTickets)
+	c.Tokens = newTokenStore(int64(opts.TokenLifetimeSeconds) * 1000)
 	c.Chains = newCertMemo()
 	return c
 }
@@ -167,6 +182,7 @@ func (c *Cache) Stats() Stats {
 	var s Stats
 	c.DNS.addStats(&s)
 	c.Tickets.addStats(&s)
+	c.Tokens.addStats(&s)
 	c.Chains.addStats(&s)
 	return s
 }
@@ -186,6 +202,11 @@ type Stats struct {
 	TicketMisses   int64
 	TicketsExpired int64
 
+	TokensIssued  int64
+	TokenHits     int64
+	TokenMisses   int64
+	TokensExpired int64
+
 	ChainHits   int64 // validations skipped via the memo
 	ChainMisses int64 // full validations performed and memoized
 }
@@ -201,6 +222,10 @@ func (s *Stats) Merge(o Stats) {
 	s.TicketHits += o.TicketHits
 	s.TicketMisses += o.TicketMisses
 	s.TicketsExpired += o.TicketsExpired
+	s.TokensIssued += o.TokensIssued
+	s.TokenHits += o.TokenHits
+	s.TokenMisses += o.TokenMisses
+	s.TokensExpired += o.TokensExpired
 	s.ChainHits += o.ChainHits
 	s.ChainMisses += o.ChainMisses
 }

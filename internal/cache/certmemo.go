@@ -130,20 +130,56 @@ func (c *Cache) PutNegativeDNS(name string) {
 	c.DNS.PutNegative(name, 1, uint32(c.opts.NegativeTTLSeconds), c.clock.NowMs())
 }
 
-// RedeemTicket attempts TLS resumption for host.
+// RedeemTicket attempts TLS resumption for host under the legacy h2
+// protocol key (ProtoWireH2). Protocol-aware call sites should use
+// RedeemTicketProto.
 func (c *Cache) RedeemTicket(host string) bool {
+	return c.RedeemTicketProto(host, ProtoWireH2)
+}
+
+// RedeemTicketProto attempts TLS resumption for host with a ticket
+// minted under the given wire protocol. Tickets never match across
+// protocols: an h2 ticket cannot resume an h3 session.
+func (c *Cache) RedeemTicketProto(host string, proto int) bool {
 	if c == nil {
 		return false
 	}
-	return c.Tickets.Redeem(host, c.clock.NowMs())
+	return c.Tickets.RedeemProto(host, proto, c.clock.NowMs())
 }
 
-// StoreTicket issues a session ticket covering the given SANs.
+// StoreTicket issues a session ticket covering the given SANs under
+// the legacy h2 protocol key (ProtoWireH2). Protocol-aware call sites
+// should use StoreTicketProto.
 func (c *Cache) StoreTicket(sans []string) {
+	c.StoreTicketProto(sans, ProtoWireH2)
+}
+
+// StoreTicketProto issues a session ticket covering the given SANs,
+// keyed by the wire protocol that minted it.
+func (c *Cache) StoreTicketProto(sans []string, proto int) {
 	if c == nil {
 		return
 	}
-	c.Tickets.Store(sans, c.clock.NowMs())
+	c.Tickets.StoreProto(sans, proto, c.clock.NowMs())
+}
+
+// RedeemToken reports whether a live address-validation token minted
+// under the given wire protocol covers host (skipping the QUIC Retry
+// round trip). Only h3 connections mint or redeem tokens.
+func (c *Cache) RedeemToken(host string, proto int) bool {
+	if c == nil {
+		return false
+	}
+	return c.Tokens.Redeem(host, proto, c.clock.NowMs())
+}
+
+// StoreToken issues an address-validation token covering the given
+// SANs, keyed by the wire protocol that minted it.
+func (c *Cache) StoreToken(sans []string, proto int) {
+	if c == nil {
+		return
+	}
+	c.Tokens.Store(sans, proto, c.clock.NowMs())
 }
 
 // ValidateChain records a chain validation, reporting whether the memo

@@ -22,7 +22,21 @@ type TicketStore struct {
 type ticket struct {
 	sans      []string
 	expiresMs int64
+	proto     int // wire protocol the ticket was minted under
 }
+
+// Wire protocol keys for protocol-versioned warm state. A TLS session
+// ticket (or an address-validation token) carries the protocol version
+// of the session that minted it, and redemption requires an exact
+// match: an h2 ticket must never produce a 0-RTT h3 resumption, and
+// vice versa — the stores are logically separate per protocol even
+// though one client holds them all. ProtoWireH2 is what the legacy
+// (protocol-unaware) entry points use.
+const (
+	ProtoWireH1 = 1
+	ProtoWireH2 = 2
+	ProtoWireH3 = 3
+)
 
 func newTicketStore(lifetimeMs int64, singleUse bool) *TicketStore {
 	return &TicketStore{lifetimeMs: lifetimeMs, singleUse: singleUse}
@@ -32,10 +46,18 @@ func newTicketStore(lifetimeMs int64, singleUse bool) *TicketStore {
 // disables resumption entirely).
 func (t *TicketStore) Enabled() bool { return t.lifetimeMs > 0 }
 
-// Store issues a session ticket for a connection whose certificate
-// carries the given SANs. Full and resumed handshakes both issue fresh
-// tickets (the TLS 1.3 NewSessionTicket flow).
+// Store issues a session ticket under the legacy h2 protocol key.
+//
+// Deprecated: protocol-aware call sites should use StoreProto.
 func (t *TicketStore) Store(sans []string, nowMs int64) {
+	t.StoreProto(sans, ProtoWireH2, nowMs)
+}
+
+// StoreProto issues a session ticket for a connection whose certificate
+// carries the given SANs, keyed by the wire protocol that minted it.
+// Full and resumed handshakes both issue fresh tickets (the TLS 1.3
+// NewSessionTicket flow).
+func (t *TicketStore) StoreProto(sans []string, proto int, nowMs int64) {
 	if !t.Enabled() || len(sans) == 0 {
 		return
 	}
@@ -45,14 +67,25 @@ func (t *TicketStore) Store(sans []string, nowMs int64) {
 	t.tickets = append(t.tickets, ticket{
 		sans:      append([]string(nil), sans...),
 		expiresMs: nowMs + t.lifetimeMs,
+		proto:     proto,
 	})
 }
 
-// Redeem consumes (or, for reusable tickets, touches) the oldest live
-// ticket whose certificate coverage includes host, reporting whether a
-// resumption handshake is possible. Expired tickets encountered during
-// the scan are dropped. A ticket expiring exactly at nowMs is dead.
+// Redeem attempts resumption under the legacy h2 protocol key.
+//
+// Deprecated: protocol-aware call sites should use RedeemProto.
 func (t *TicketStore) Redeem(host string, nowMs int64) bool {
+	return t.RedeemProto(host, ProtoWireH2, nowMs)
+}
+
+// RedeemProto consumes (or, for reusable tickets, touches) the oldest
+// live ticket minted under the same wire protocol whose certificate
+// coverage includes host, reporting whether a resumption handshake is
+// possible. Tickets minted under a different protocol never match —
+// the TLS session state of an h2 connection cannot resume an h3
+// session. Expired tickets encountered during the scan are dropped.
+// A ticket expiring exactly at nowMs is dead.
+func (t *TicketStore) RedeemProto(host string, proto int, nowMs int64) bool {
 	if !t.Enabled() {
 		return false
 	}
@@ -65,7 +98,7 @@ func (t *TicketStore) Redeem(host string, nowMs int64) bool {
 			t.expiredN++
 			continue
 		}
-		if !hit && SANsCover(tk.sans, host) {
+		if !hit && tk.proto == proto && SANsCover(tk.sans, host) {
 			hit = true
 			if t.singleUse {
 				continue // consumed

@@ -222,6 +222,9 @@ func (c *CDN) Zones() []*Zone {
 	for _, z := range c.zones {
 		out = append(out, z)
 	}
+	// Hosts are the c.zones map keys, so they are distinct and the
+	// unstable sort is total: the result is independent of both map
+	// iteration order and zone registration order.
 	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
 	return out
 }
@@ -393,6 +396,18 @@ func (c *CDN) OriginSet(host string, ip netip.Addr) []string {
 	default:
 		return nil
 	}
+}
+
+// SupportsH3 implements browser.AltSvcer: the CDN's termination process
+// speaks QUIC at every edge, so HTTP/3 is advertised for every hosted
+// name — registered zones and the third party — and for nothing else.
+func (c *CDN) SupportsH3(host string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.zones[host]; ok {
+		return true
+	}
+	return host == c.ThirdParty
 }
 
 // Reachable reports whether the server at ip authoritatively serves

@@ -33,6 +33,16 @@ func (e *Experiment) UseSession(s *core.Session) {
 // Visits never touch the log pipeline or the experiment's own RNG, so
 // running WarmCold leaves every other measurement untouched.
 func (e *Experiment) WarmCold(revisits int, opts cache.Options) []core.VisitCosts {
+	return e.WarmColdProto(revisits, opts, core.ProtoH2)
+}
+
+// WarmColdProto is WarmCold under an explicit application protocol.
+// ProtoH2 reproduces WarmCold byte for byte (the protocol field's zero
+// value changes nothing); ProtoH1 disables cross-host coalescing;
+// ProtoH3 pays QUIC handshake paths and tracks token/0-RTT state. The
+// per-zone anonymity stream is drawn identically for every protocol, so
+// per-protocol differences isolate the transport effect.
+func (e *Experiment) WarmColdProto(revisits int, opts cache.Options, proto core.Protocol) []core.VisitCosts {
 	if revisits <= 0 {
 		return nil
 	}
@@ -51,13 +61,13 @@ func (e *Experiment) WarmCold(revisits int, opts cache.Options) []core.VisitCost
 			}
 		}
 		c := cache.New(opts)
-		b := browser.New(browser.PolicyFirefoxOrigin, browser.WithCache(c))
+		b := browser.New(browser.PolicyFirefoxOrigin, browser.WithCache(c), browser.WithProtocol(proto))
 		for v := 0; v < revisits; v++ {
 			if v > 0 {
 				c.Clock().AdvanceMs(c.Opts().RevisitIntervalMs)
 				b.Reset() // fresh browsing session; warm state survives in c
 			}
-			costs[v].Add(e.warmVisit(z, b, c, anon))
+			costs[v].Add(e.warmVisit(z, b, c, anon, proto))
 		}
 	}
 	return costs
@@ -68,7 +78,7 @@ func (e *Experiment) WarmCold(revisits int, opts cache.Options) []core.VisitCost
 // ride the coalescing pool but still see the client's DNS cache, ticket
 // store and chain memo, mirroring how uncredentialed requests share
 // OS- and TLS-layer state.
-func (e *Experiment) warmVisit(z *Zone, b *browser.Browser, c *cache.Cache, anon []bool) core.VisitCosts {
+func (e *Experiment) warmVisit(z *Zone, b *browser.Browser, c *cache.Cache, anon []bool, proto core.Protocol) core.VisitCosts {
 	vc := core.VisitCosts{Pages: 1}
 	out := b.Request(e.CDN, z.Host)
 	addOutcome(&vc, out)
@@ -77,7 +87,7 @@ func (e *Experiment) warmVisit(z *Zone, b *browser.Browser, c *cache.Cache, anon
 	}
 	for _, anonymous := range anon {
 		if anonymous {
-			e.anonymousFetch(&vc, c)
+			e.anonymousFetch(&vc, c, proto)
 			continue
 		}
 		addOutcome(&vc, b.Request(e.CDN, e.CDN.ThirdParty))
@@ -87,8 +97,9 @@ func (e *Experiment) warmVisit(z *Zone, b *browser.Browser, c *cache.Cache, anon
 
 // anonymousFetch models one uncredentialed third-party fetch: always a
 // fresh connection (never coalesced), but DNS, resumption and the memo
-// still apply.
-func (e *Experiment) anonymousFetch(vc *core.VisitCosts, c *cache.Cache) {
+// still apply — under the visit's protocol key, with h3 fetches also
+// settling address validation.
+func (e *Experiment) anonymousFetch(vc *core.VisitCosts, c *cache.Cache, proto core.Protocol) {
 	tp := e.CDN.ThirdParty
 	if _, negative, ok := c.LookupDNS(tp); ok && !negative {
 		vc.DNSCacheHits++
@@ -100,7 +111,9 @@ func (e *Experiment) anonymousFetch(vc *core.VisitCosts, c *cache.Cache) {
 	}
 	vc.ConnsNeeded++
 	sans := e.CDN.CertSANs(tp, netip.Addr{})
-	if c.RedeemTicket(tp) {
+	wire := proto.Wire()
+	resumed := c.RedeemTicketProto(tp, wire)
+	if resumed {
 		vc.ResumedTLS++
 	} else {
 		vc.FullHandshakes++
@@ -110,7 +123,18 @@ func (e *Experiment) anonymousFetch(vc *core.VisitCosts, c *cache.Cache) {
 			vc.Validations++
 		}
 	}
-	c.StoreTicket(sans)
+	c.StoreTicketProto(sans, wire)
+	if proto == core.ProtoH3 {
+		if c.RedeemToken(tp, wire) {
+			vc.AddrTokenHits++
+			if resumed {
+				vc.ZeroRTT++
+			}
+		} else {
+			vc.AddrValidations++
+		}
+		c.StoreToken(sans, wire)
+	}
 }
 
 // addOutcome folds one browser outcome into a cost ledger, attributing
@@ -143,6 +167,16 @@ func addOutcome(vc *core.VisitCosts, out browser.Outcome) {
 				vc.CertMemoHits++
 			} else {
 				vc.Validations++
+			}
+		}
+		if out.Proto == browser.ProtoH3 {
+			if out.AddrTokenHit {
+				vc.AddrTokenHits++
+			} else {
+				vc.AddrValidations++
+			}
+			if out.ZeroRTT {
+				vc.ZeroRTT++
 			}
 		}
 	}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 
+	"respectorigin/internal/cache"
 	"respectorigin/internal/core"
 	"respectorigin/internal/har"
+	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
 	"respectorigin/internal/webgen"
@@ -125,6 +127,11 @@ func runOnce(sites int, seed int64, workers int) (*artifacts, error) {
 	rep.WriteString(f3)
 	_, hl := c.Headline()
 	rep.WriteString(hl)
+	// Per-protocol savings decomposition: replays the corpus under h1,
+	// h2 and h3, so protocol-versioned warm paths are inside the
+	// byte-identity gate too.
+	sweep := c.ProtoSweep(2, cache.Options{})
+	rep.WriteString(report.ProtoSweepTable(sweep, netsim.DefaultParams(), "corpus"))
 
 	return &artifacts{
 		corpus: append([]byte(nil), corpus.Bytes()...),

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// SANRankTable ranks histogram buckets by (count desc, size asc); the
+// sizes are unique histogram keys, so the ranking is a strict total
+// order and must not depend on the order sites were sampled in.
+func TestSANRankTableSampleOrderInvariant(t *testing.T) {
+	existing := []int{1, 1, 1, 2, 2, 5, 5, 5, 9, 9, 9, 12} // counts 3,2,3,3,1: ties
+	ideal := []int{2, 2, 4, 4, 6, 6, 8, 8, 3, 3, 3, 7}
+	rank := func(exOrder, idOrder []int) []SANRankRow {
+		s := CertPlanSummary{}
+		for _, i := range exOrder {
+			s.ExistingSizes = append(s.ExistingSizes, existing[i])
+		}
+		for _, i := range idOrder {
+			s.IdealSizes = append(s.IdealSizes, ideal[i])
+		}
+		return SANRankTable(s, 5)
+	}
+	ident := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	want := rank(ident, ident)
+	rs := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		got := rank(rs.Perm(len(existing)), rs.Perm(len(ideal)))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: SANRankTable depends on sample order:\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"respectorigin/internal/browser"
+	"respectorigin/internal/cache"
+	"respectorigin/internal/har"
+)
+
+// Protocol re-exports the browser package's protocol enum so callers
+// configuring a Session need not import browser directly.
+type Protocol = browser.Protocol
+
+// Protocol values, zero value (h2) first.
+const (
+	ProtoH2 = browser.ProtoH2
+	ProtoH1 = browser.ProtoH1
+	ProtoH3 = browser.ProtoH3
+)
+
+// Protocols lists every protocol in sweep order (h1, h2, h3).
+var Protocols = browser.Protocols
+
+// ParseProtocol parses "h1", "h2" and "h3" (the -proto flag values).
+func ParseProtocol(s string) (Protocol, error) { return browser.ParseProtocol(s) }
+
+// ProtocolReplayCosts replays one recorded page load under the given
+// protocol and returns what the visit paid. ProtoH2 is exactly
+// WarmReplayCosts — the paper's baseline, byte for byte. The other two
+// protocols reinterpret the page's connection structure while keeping
+// its DNS accounting identical, deliberately isolating the transport
+// effect from resolution effects so per-protocol ledgers stay directly
+// comparable (LookupsNeeded is invariant across protocols):
+//
+//   - ProtoH1: no cross-host coalescing. A request reuses a connection
+//     only when an earlier request in the same visit already connected
+//     to the same hostname (keep-alive); every first contact with a
+//     hostname pays a connection, whatever the recorded h2 coalescing
+//     said. Tickets are redeemed and minted under the h1 key.
+//   - ProtoH3: the recorded coalescing structure holds (the SAN rules
+//     authorizing h2 coalescing authorize h3 pooling equally), but every
+//     fresh connection additionally settles address validation: a
+//     stored token covering the host skips the Retry round trip
+//     (AddrTokenHits), otherwise validation is performed
+//     (AddrValidations). A ticket and a token together make the
+//     handshake 0-RTT. Both are redeemed and minted under the h3 key,
+//     so h2 state never leaks into an h3 replay.
+//
+// A nil cache replays the pure cold visit for every protocol.
+func ProtocolReplayCosts(p *har.Page, proto Protocol, c *cache.Cache) VisitCosts {
+	if proto == ProtoH2 {
+		return WarmReplayCosts(p, c)
+	}
+	vc := VisitCosts{Pages: 1}
+	connected := map[string]bool{}
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		if e.NewDNS {
+			if _, negative, ok := c.LookupDNS(e.Host); ok {
+				if negative {
+					vc.DNSNegHits++
+				} else {
+					vc.DNSCacheHits++
+				}
+			} else {
+				vc.DNSQueries++
+				if len(e.DNSAnswer) > 0 {
+					c.PutDNS(e.Host, e.DNSAnswer, c.DefaultTTL())
+				}
+			}
+		} else {
+			vc.DNSCoalesced++
+		}
+		if !e.Secure {
+			continue
+		}
+		vc.ConnsNeeded++
+		reused := !e.NewTLS
+		if proto == ProtoH1 {
+			// Keep-alive only: reuse requires a live same-host connection.
+			reused = connected[e.Host]
+			connected[e.Host] = true
+		}
+		if reused {
+			vc.ReusedConns++
+			continue
+		}
+		sans := e.CertSANs
+		if len(sans) == 0 {
+			sans = []string{e.Host}
+		}
+		wire := proto.Wire()
+		if c.RedeemTicketProto(e.Host, wire) {
+			vc.ResumedTLS++
+			if proto == ProtoH3 && c.RedeemToken(e.Host, wire) {
+				vc.AddrTokenHits++
+				vc.ZeroRTT++
+			} else if proto == ProtoH3 {
+				vc.AddrValidations++
+			}
+		} else {
+			vc.FullHandshakes++
+			if c.ValidateChain(e.CertIssuer, sans) {
+				vc.CertMemoHits++
+			} else {
+				vc.Validations++
+			}
+			if proto == ProtoH3 {
+				if c.RedeemToken(e.Host, wire) {
+					vc.AddrTokenHits++
+				} else {
+					vc.AddrValidations++
+				}
+			}
+		}
+		c.StoreTicketProto(sans, wire)
+		if proto == ProtoH3 {
+			c.StoreToken(sans, wire)
+		}
+	}
+	// Races fire before any warm state could be consulted; under h3 the
+	// speculative connections also pay address validation.
+	vc.DNSQueries += p.ExtraDNS
+	vc.ConnsNeeded += p.ExtraTLS
+	vc.FullHandshakes += p.ExtraTLS
+	vc.Validations += p.ExtraTLS
+	if proto == ProtoH3 {
+		vc.AddrValidations += p.ExtraTLS
+	}
+	return vc
+}
+
+// ProtocolReplaySequence replays a page visits times under one protocol
+// against one fresh cache built from opts, advancing the cache clock by
+// the configured revisit interval between visits — the per-protocol
+// analogue of WarmReplaySequence (to which it is byte-identical at
+// ProtoH2).
+func ProtocolReplaySequence(p *har.Page, visits int, opts cache.Options, proto Protocol) []VisitCosts {
+	if visits <= 0 {
+		return nil
+	}
+	c := cache.New(opts)
+	out := make([]VisitCosts, visits)
+	for v := 0; v < visits; v++ {
+		if v > 0 {
+			c.Clock().AdvanceMs(c.Opts().RevisitIntervalMs)
+		}
+		out[v] = ProtocolReplayCosts(p, proto, c)
+	}
+	return out
+}

@@ -39,6 +39,10 @@ type Session struct {
 	// default) keeps observation off everywhere.
 	Rec obs.Recorder
 
+	// Protocol is the application protocol browsers minted by NewBrowser
+	// speak. The zero value (ProtoH2) preserves historical behaviour.
+	Protocol Protocol
+
 	// CacheOpts parameterizes the warm-path caches NewCache mints;
 	// cacheOn gates whether NewCache mints at all.
 	CacheOpts cache.Options
@@ -107,6 +111,12 @@ func WithCache(opts cache.Options) SessionOption {
 	}
 }
 
+// WithProtocol selects the application protocol session browsers speak
+// (h1 keep-alive, the h2 baseline, or h3 over QUIC).
+func WithProtocol(p Protocol) SessionOption {
+	return func(s *Session) { s.Protocol = p }
+}
+
 // CacheEnabled reports whether WithCache was applied.
 func (s *Session) CacheEnabled() bool { return s.cacheOn }
 
@@ -132,6 +142,7 @@ func (s *Session) NewBrowser(p browser.Policy) *browser.Browser {
 		browser.WithRetries(s.Retries, s.BackoffMs),
 		browser.WithRecorder(s.Rec, 0),
 		browser.WithCache(s.NewCache()),
+		browser.WithProtocol(s.Protocol),
 	)
 }
 

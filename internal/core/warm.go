@@ -37,6 +37,17 @@ type VisitCosts struct {
 	// Chain validations within the full handshakes.
 	Validations  int // validations actually performed
 	CertMemoHits int // skipped via the validated-chain memo
+
+	// h3-only decomposition, all zero for h1/h2 replays. Every fresh h3
+	// connection either redeems an address-validation token or performs
+	// address validation (the Retry round trip), so for an h3 ledger
+	//
+	//	AddrTokenHits + AddrValidations = ResumedTLS + FullHandshakes
+	//
+	// and ZeroRTT counts the resumed connections that also hit a token.
+	ZeroRTT         int // 0-RTT handshakes (ticket + token both redeemed)
+	AddrTokenHits   int // address-validation tokens redeemed
+	AddrValidations int // address validations performed (no token cover)
 }
 
 // Add folds o into v field-wise. Addition is associative and
@@ -54,6 +65,9 @@ func (v *VisitCosts) Add(o VisitCosts) {
 	v.FullHandshakes += o.FullHandshakes
 	v.Validations += o.Validations
 	v.CertMemoHits += o.CertMemoHits
+	v.ZeroRTT += o.ZeroRTT
+	v.AddrTokenHits += o.AddrTokenHits
+	v.AddrValidations += o.AddrValidations
 }
 
 // LookupsNeeded is the visit's total DNS demand, however satisfied.
@@ -67,8 +81,15 @@ func (v VisitCosts) LookupsNeeded() int {
 // a false return means some unit was double-counted or dropped and the
 // savings decomposition cannot be exact.
 func (v VisitCosts) Consistent() bool {
-	return v.ConnsNeeded == v.ReusedConns+v.ResumedTLS+v.FullHandshakes &&
-		v.FullHandshakes == v.Validations+v.CertMemoHits
+	if v.ConnsNeeded != v.ReusedConns+v.ResumedTLS+v.FullHandshakes ||
+		v.FullHandshakes != v.Validations+v.CertMemoHits {
+		return false
+	}
+	// The h3 address-validation identity is "zero or exact": h1/h2
+	// ledgers carry no token state at all, h3 ledgers must account every
+	// fresh connection as either a token hit or a validation.
+	addr := v.AddrTokenHits + v.AddrValidations
+	return addr == 0 || addr == v.ResumedTLS+v.FullHandshakes
 }
 
 // WarmReplayCosts replays one recorded page load against a warm-path

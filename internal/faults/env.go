@@ -27,6 +27,7 @@ var (
 	_ browser.Environment   = (*Env)(nil)
 	_ browser.ConnectFailer = (*Env)(nil)
 	_ browser.TTLLookuper   = (*Env)(nil)
+	_ browser.AltSvcer      = (*Env)(nil)
 )
 
 // Lookup resolves through the inner environment unless a DNS fault
@@ -79,6 +80,17 @@ func (e *Env) Reachable(host string, ip netip.Addr) bool {
 		return false
 	}
 	return ok
+}
+
+// SupportsH3 passes through Alt-Svc advertisement: the fault layer
+// degrades the network, not what the server says it speaks. Inner
+// environments without the extension support h3 everywhere, matching
+// the browser's own default for extension-less environments.
+func (e *Env) SupportsH3(host string) bool {
+	if as, ok := e.Inner.(browser.AltSvcer); ok {
+		return as.SupportsH3(host)
+	}
+	return true
 }
 
 // ConnectFail implements browser.ConnectFailer: fresh connections fail

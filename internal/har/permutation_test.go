@@ -1,0 +1,35 @@
+package har
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// UniqueASNs deduplicates through a set and sorts numerically, so the
+// result must not depend on the order requests appear in the page.
+func TestUniqueASNsEntryOrderInvariant(t *testing.T) {
+	asns := []uint32{13335, 15169, 13335, 16509, 15169, 13335, 714}
+	build := func(order []int) *Page {
+		p := &Page{Host: "www.example.com"}
+		for _, i := range order {
+			p.Entries = append(p.Entries, Entry{Host: "www.example.com", ServerASN: asns[i]})
+		}
+		return p
+	}
+	want := build([]int{0, 1, 2, 3, 4, 5, 6}).UniqueASNs()
+	if len(want) != 4 {
+		t.Fatalf("UniqueASNs = %v, want 4 distinct", want)
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i-1] >= want[i] {
+			t.Fatalf("UniqueASNs not strictly sorted: %v", want)
+		}
+	}
+	rs := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		if got := build(rs.Perm(len(asns))).UniqueASNs(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: UniqueASNs depends on entry order: got %v, want %v", trial, got, want)
+		}
+	}
+}

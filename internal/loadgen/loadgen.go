@@ -32,6 +32,7 @@ import (
 	"math"
 	"math/rand"
 
+	"respectorigin/internal/browser"
 	"respectorigin/internal/cache"
 	"respectorigin/internal/cdn"
 	"respectorigin/internal/netsim"
@@ -110,6 +111,14 @@ type Config struct {
 	// coalesce and carry no warm-path cache).
 	FirefoxShare float64
 	ChromeShare  float64
+
+	// Proto is the application protocol modern (Firefox/Chrome) clients
+	// speak: h1 disables cross-host coalescing, h2 (the zero value) is
+	// the historical baseline, h3 pays QUIC handshake paths with
+	// token-gated 0-RTT. Legacy clients are unaffected. The protocol is
+	// configuration, not a random draw, so toggling it never shifts the
+	// arrival schedule or any user's profile/visit stream.
+	Proto browser.Protocol
 
 	// Cache configures each user's warm-path state; Net the per-user
 	// network model.

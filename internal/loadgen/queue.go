@@ -77,6 +77,7 @@ func runQueue(cfg Config, visits []visit) Result {
 	lat := obs.NewQuantile()
 	res := Result{
 		Users: cfg.Users, Arrival: cfg.Arrival, Seed: cfg.Seed,
+		Proto:      cfg.Proto.String(),
 		RatePerSec: cfg.RatePerSec, SLOMs: cfg.SLOMs,
 		PoPs: cfg.PoPs, PoPServers: cfg.PoPServers,
 	}
@@ -103,6 +104,8 @@ func runQueue(cfg Config, visits []visit) Result {
 		res.Requests += int64(v.Requests)
 		res.FreshConns += int64(v.FreshConns)
 		res.ResumedConns += int64(v.Resumed)
+		res.ZeroRTTConns += int64(v.ZeroRTT)
+		res.AddrTokenHits += int64(v.AddrTokens)
 		res.ReusedReqs += int64(v.Reused)
 		res.CoalescedReqs += int64(v.Coalesced)
 		res.DNSQueries += int64(v.DNSQueries)

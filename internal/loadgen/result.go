@@ -15,6 +15,7 @@ import (
 type Result struct {
 	Users      int     `json:"users"`
 	Seed       int64   `json:"seed"`
+	Proto      string  `json:"proto"` // protocol modern clients spoke (h1/h2/h3)
 	Arrival    string  `json:"arrival"`
 	RatePerSec float64 `json:"rate_per_sec"`
 	PoPs       int     `json:"pops"`
@@ -27,6 +28,8 @@ type Result struct {
 	OfferedUPS    float64 `json:"offered_ups"` // empirical user-arrival rate of the schedule
 	FreshConns    int64   `json:"fresh_conns"`
 	ResumedConns  int64   `json:"resumed_conns"`
+	ZeroRTTConns  int64   `json:"zero_rtt_conns"` // h3 0-RTT handshakes
+	AddrTokenHits int64   `json:"addr_token_hits"`
 	ReusedReqs    int64   `json:"reused_reqs"`
 	CoalescedReqs int64   `json:"coalesced_reqs"`
 	CoalesceRate  float64 `json:"coalesce_rate"`
@@ -64,12 +67,13 @@ func WriteNDJSON(w io.Writer, results ...Result) error {
 // String renders the result as an aligned human-readable block.
 func (r Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d users, %s arrivals @ %.0f/s, %d PoPs x %d servers\n",
-		r.Users, r.Arrival, r.RatePerSec, r.PoPs, r.PoPServers)
+	fmt.Fprintf(&b, "loadgen: %d users (%s), %s arrivals @ %.0f/s, %d PoPs x %d servers\n",
+		r.Users, r.Proto, r.Arrival, r.RatePerSec, r.PoPs, r.PoPServers)
 	fmt.Fprintf(&b, "  visits %d, requests %d over %.1f s (%.0f req/s offered)\n",
 		r.Visits, r.Requests, r.SpanSec, r.OfferedRPS)
-	fmt.Fprintf(&b, "  conns: %d fresh (%d resumed), %d reused, %d coalesced (rate %.3f), %d churned\n",
-		r.FreshConns, r.ResumedConns, r.ReusedReqs, r.CoalescedReqs, r.CoalesceRate, r.ChurnedConns)
+	fmt.Fprintf(&b, "  conns: %d fresh (%d resumed, %d 0-RTT, %d token hits), %d reused, %d coalesced (rate %.3f), %d churned\n",
+		r.FreshConns, r.ResumedConns, r.ZeroRTTConns, r.AddrTokenHits,
+		r.ReusedReqs, r.CoalescedReqs, r.CoalesceRate, r.ChurnedConns)
 	fmt.Fprintf(&b, "  dns: %d queries, %d cache hits\n", r.DNSQueries, r.DNSCacheHits)
 	fmt.Fprintf(&b, "  latency ms: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f (wait mean %.1f)\n",
 		r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs, r.MeanWaitMs)

@@ -9,6 +9,7 @@ import (
 	"respectorigin/internal/cache"
 	"respectorigin/internal/cdn"
 	"respectorigin/internal/netsim"
+	"respectorigin/internal/quic"
 )
 
 // visit is one page view by one user, as produced by the parallel
@@ -26,6 +27,8 @@ type visit struct {
 	Requests   int
 	FreshConns int // full TLS handshakes
 	Resumed    int // ticket-resumption handshakes
+	ZeroRTT    int // h3 0-RTT handshakes (ticket + address token)
+	AddrTokens int // h3 address-validation token hits
 	Reused     int // requests satisfied on a pooled connection
 	Coalesced  int // reused across hostnames (Outcome.Coalesced)
 	DNSQueries int
@@ -112,6 +115,7 @@ func simulateUser(cfg Config, env *cdn.CDN, uid int, arrivalMs float64) []visit 
 		cc = cache.New(cfg.Cache)
 		b = browser.New(prof.policy)
 		b.Cache = cc
+		b.Proto = cfg.Proto
 	}
 
 	nVisits := drawVisits(cfg, rs)
@@ -204,13 +208,29 @@ func accountRequest(out browser.Outcome, rs *rand.Rand, net *netsim.Network, v *
 		}
 	case out.NewConnection:
 		v.FreshConns++
-		v.ClientMs += net.ConnectTime()
-		if out.ResumedTLS {
-			// Abbreviated handshake: no certificate chain to verify.
-			v.Resumed++
-			v.ClientMs += net.TLSTime(0, 1)
+		if out.Proto == browser.ProtoH3 {
+			// QUIC folds transport and crypto into one handshake; the
+			// path (resumed/token) decides how many round trips it takes.
+			path := quic.Path{Resumed: out.ResumedTLS, TokenHit: out.AddrTokenHit}
+			v.ClientMs += path.HandshakeTime(net, 1)
+			if out.ResumedTLS {
+				v.Resumed++
+			}
+			if out.AddrTokenHit {
+				v.AddrTokens++
+			}
+			if out.ZeroRTT {
+				v.ZeroRTT++
+			}
 		} else {
-			v.ClientMs += net.TLSTime(2, 1)
+			v.ClientMs += net.ConnectTime()
+			if out.ResumedTLS {
+				// Abbreviated handshake: no certificate chain to verify.
+				v.Resumed++
+				v.ClientMs += net.TLSTime(0, 1)
+			} else {
+				v.ClientMs += net.TLSTime(2, 1)
+			}
 		}
 	}
 	v.ClientMs += requestTime(rs, net)

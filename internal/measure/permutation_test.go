@@ -1,0 +1,36 @@
+package measure
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Top sorts by (Count desc, Key asc); keys are unique map keys, so the
+// composite comparison is a strict total order and the ranking must be
+// independent of insertion order even with heavily tied counts.
+func TestTopTiedCountsInsertionOrderInvariant(t *testing.T) {
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	counts := []int64{3, 3, 3, 7, 7, 1} // two tie groups
+	rank := func(order []int) []RankedEntry {
+		c := NewCounter()
+		for _, i := range order {
+			c.Add(keys[i], counts[i])
+		}
+		return c.Top(0)
+	}
+	want := rank([]int{0, 1, 2, 3, 4, 5})
+	rs := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		if got := rank(rs.Perm(len(keys))); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Top depends on insertion order: got %v, want %v", trial, got, want)
+		}
+	}
+	// The tie groups themselves must rank lexicographically.
+	wantOrder := []string{"delta", "echo", "alpha", "bravo", "charlie", "foxtrot"}
+	for i, e := range want {
+		if e.Key != wantOrder[i] {
+			t.Fatalf("rank %d = %q, want %q", i, e.Key, wantOrder[i])
+		}
+	}
+}

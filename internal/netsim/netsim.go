@@ -162,6 +162,33 @@ func (n *Network) TLSTime(sanCount, tlsRecords int) float64 {
 	return d
 }
 
+// QUICHandshakeTime returns the combined transport+cryptographic
+// handshake duration for a QUIC connection establishment taking rtts
+// round trips: 1 for a fresh or resumed 1-RTT handshake, 0 for 0-RTT,
+// plus 1 when the server demands address validation via Retry. QUIC
+// folds the transport and TLS handshakes into the same flights, so
+// there is no separate ConnectTime and no TLSRoundTrips contribution.
+// verifyChain adds the client-side certificate validation cost (full
+// handshakes only; resumed and 0-RTT handshakes present no chain).
+//
+// Stream contract: exactly one jitter draw per call when JitterMs > 0,
+// independent of rtts and verifyChain — an h3 run's draw count per
+// fresh connection is one, exactly matching neither ConnectTime nor
+// TLSTime but never varying with the handshake path, so toggling
+// 0-RTT/token knobs cannot shift the seeded stream of later phases.
+func (n *Network) QUICHandshakeTime(rtts float64, verifyChain bool, sanCount int) float64 {
+	n.mu.Lock()
+	d := rtts * n.P.RTTMs
+	if verifyChain {
+		d += n.P.CertVerifyMs + float64(sanCount)*n.P.ExtraCertVerifyPerSANMs
+	}
+	d = d*n.P.scale() + n.jitter()
+	rec := n.rec
+	n.mu.Unlock()
+	obs.Observe(rec, "netsim.quic_handshake_ms", d)
+	return d
+}
+
 // WaitTime returns time-to-first-byte after the request is sent.
 func (n *Network) WaitTime() float64 {
 	n.mu.Lock()

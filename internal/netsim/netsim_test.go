@@ -125,8 +125,8 @@ type reentrantRecorder struct {
 	samples map[string]int
 }
 
-func (r *reentrantRecorder) Count(string, int64)  {}
-func (r *reentrantRecorder) Event(obs.Event)      {}
+func (r *reentrantRecorder) Count(string, int64) {}
+func (r *reentrantRecorder) Event(obs.Event)     {}
 func (r *reentrantRecorder) Observe(hist string, ms float64) {
 	r.samples[hist]++
 	_ = r.net.Float64() // re-entrant: must not deadlock

@@ -31,12 +31,12 @@ func TestAppendEventJSONMatchesEncodingJSON(t *testing.T) {
 		{Rank: -5, Seq: 0, Kind: KindDNSQuery, Host: "www.example.com"},
 		{Rank: 3, Seq: 9, Kind: KindCoalesceHit, Host: "a.example", Conn: "b.example", Detail: "origin"},
 		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 12.5},
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 0.0000001},  // %e territory
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 3.5e21},     // large %e
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: -1e-9},      // negative small
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 1e21},       // boundary
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 0.000001},   // boundary %f
-		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: math.Pi},    // shortest repr
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 0.0000001}, // %e territory
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 3.5e21},    // large %e
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: -1e-9},     // negative small
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 1e21},      // boundary
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: 0.000001},  // boundary %f
+		{Rank: 7, Seq: 1, Kind: KindTLSHandshake, MS: math.Pi},   // shortest repr
 		{Rank: 0, Seq: 0, Kind: "x", N: -1, DNS: 4, TLS: 3, IdealIP: 2, IdealOrigin: 1},
 		{Kind: `quotes "and" back\slash`},
 		{Kind: "html <escapes> & ampersand"},

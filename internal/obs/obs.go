@@ -25,22 +25,25 @@ package obs
 // one hop of the DNS → TLS → H2 stream → ORIGIN frame → coalesce
 // decision timeline.
 const (
-	KindPageStart    = "page_start"
-	KindDNSQuery     = "dns_query"
-	KindDNSCacheHit  = "dns_cache_hit"
-	KindDNSFail      = "dns_fail"
-	KindTLSHandshake = "tls_handshake"
-	KindTLSResume    = "tls_resume"
-	KindCertMemoHit  = "cert_memo_hit"
-	KindConnectFail  = "connect_fail"
-	KindStreamOpen   = "h2_stream_open"
-	KindOriginFrame  = "origin_frame"
-	KindCoalesceHit  = "coalesce_hit"
-	KindMisdirected  = "421_fallback"
-	KindRetry        = "retry"
-	KindGoAway       = "goaway"
-	KindReset        = "reset"
-	KindPageEnd      = "page_end"
+	KindPageStart     = "page_start"
+	KindDNSQuery      = "dns_query"
+	KindDNSCacheHit   = "dns_cache_hit"
+	KindDNSFail       = "dns_fail"
+	KindTLSHandshake  = "tls_handshake"
+	KindTLSResume     = "tls_resume"
+	KindQUICHandshake = "quic_handshake"
+	KindZeroRTT       = "zero_rtt"
+	KindAddrTokenHit  = "addr_token_hit"
+	KindCertMemoHit   = "cert_memo_hit"
+	KindConnectFail   = "connect_fail"
+	KindStreamOpen    = "h2_stream_open"
+	KindOriginFrame   = "origin_frame"
+	KindCoalesceHit   = "coalesce_hit"
+	KindMisdirected   = "421_fallback"
+	KindRetry         = "retry"
+	KindGoAway        = "goaway"
+	KindReset         = "reset"
+	KindPageEnd       = "page_end"
 )
 
 // Event is one record of a page-load span. Rank identifies the page

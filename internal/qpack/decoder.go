@@ -1,0 +1,89 @@
+package qpack
+
+import "respectorigin/internal/hpack"
+
+// Decoder reads encoded field sections in the static-only profile.
+// The zero value is ready to use; a Decoder may be reused across
+// sections and is not safe for concurrent use.
+type Decoder struct {
+	// MaxStringLength bounds a single decoded name or value; zero
+	// applies DefaultMaxStringLength rather than no bound.
+	MaxStringLength uint64
+
+	scratch []byte // reused Huffman decode buffer
+}
+
+// DecodeFieldSection decodes one complete encoded field section.
+// Sections requiring a dynamic table — a nonzero Required Insert
+// Count, an indexed or name reference with T=0, or any post-base
+// representation — are rejected with ErrDynamicUnsupported: this
+// decoder advertises zero table capacity, so a compliant peer never
+// sends them.
+func (d *Decoder) DecodeFieldSection(buf []byte) ([]hpack.HeaderField, error) {
+	// Section prefix: Encoded Required Insert Count, then Base.
+	ric, buf, err := readVarInt(buf, 8)
+	if err != nil {
+		return nil, err
+	}
+	if ric != 0 {
+		return nil, ErrDynamicUnsupported
+	}
+	// With RIC 0 the Base field must still parse; its value is
+	// irrelevant because no representation may reference the dynamic
+	// table below.
+	if _, buf, err = readVarInt(buf, 7); err != nil {
+		return nil, err
+	}
+	var fields []hpack.HeaderField
+	for len(buf) > 0 {
+		b := buf[0]
+		switch {
+		case b&0x80 != 0: // indexed field line
+			if b&0x40 == 0 {
+				return nil, ErrDynamicUnsupported // T=0: dynamic table
+			}
+			var idx uint64
+			if idx, buf, err = readVarInt(buf, 6); err != nil {
+				return nil, err
+			}
+			f, ok := StaticEntry(int(idx))
+			if !ok {
+				return nil, ErrInvalidIndex
+			}
+			fields = append(fields, f)
+		case b&0x40 != 0: // literal with name reference
+			if b&0x10 == 0 {
+				return nil, ErrDynamicUnsupported // T=0: dynamic table
+			}
+			sensitive := b&0x20 != 0
+			var idx uint64
+			if idx, buf, err = readVarInt(buf, 4); err != nil {
+				return nil, err
+			}
+			f, ok := StaticEntry(int(idx))
+			if !ok {
+				return nil, ErrInvalidIndex
+			}
+			var value string
+			if value, buf, d.scratch, err = readStringN(buf, 7, d.MaxStringLength, d.scratch); err != nil {
+				return nil, err
+			}
+			fields = append(fields, hpack.HeaderField{Name: f.Name, Value: value, Sensitive: sensitive})
+		case b&0x20 != 0: // literal with literal name
+			sensitive := b&0x10 != 0
+			var name, value string
+			if name, buf, d.scratch, err = readStringN(buf, 3, d.MaxStringLength, d.scratch); err != nil {
+				return nil, err
+			}
+			if value, buf, d.scratch, err = readStringN(buf, 7, d.MaxStringLength, d.scratch); err != nil {
+				return nil, err
+			}
+			fields = append(fields, hpack.HeaderField{Name: name, Value: value, Sensitive: sensitive})
+		default:
+			// 0001: indexed with post-base index; 0000: literal with
+			// post-base name reference — both dynamic-table features.
+			return nil, ErrDynamicUnsupported
+		}
+	}
+	return fields, nil
+}

@@ -1,0 +1,62 @@
+package qpack
+
+import "respectorigin/internal/hpack"
+
+// Encoder writes encoded field sections in the static-only profile.
+// The zero value is ready to use; an Encoder may be reused across
+// sections and is not safe for concurrent use.
+type Encoder struct {
+	// DisableHuffman forces raw string literals (testing and
+	// interop-debugging aid). Huffman is otherwise used whenever it
+	// shortens the string, as in the hpack encoder.
+	DisableHuffman bool
+}
+
+// Field line representation patterns (RFC 9204 §4.5). The T bit is
+// always 1 here: every reference is into the static table.
+const (
+	patIndexedStatic   = 0xc0 // 1 1 <6-bit index>
+	patLiteralNameRef  = 0x50 // 0 1 N 1 <4-bit name index>, N clear
+	patLiteralNeverRef = 0x70 // 0 1 N 1 <4-bit name index>, N set
+	patLiteralLiteral  = 0x20 // 0 0 1 N H <3-bit name length>
+	patLiteralNeverLit = 0x30 // 0 0 1 N H, N set
+)
+
+// AppendFieldSection appends the encoded field section for fields:
+// the two-byte section prefix (Required Insert Count and Base, both
+// zero in the static-only profile — RFC 9204 §4.5.1), then one field
+// line per field. Representations are chosen canonically: the lowest
+// exact static match as an indexed line, else the lowest static name
+// match as a literal with name reference, else a fully literal line.
+// Sensitive fields are never encoded as indexed lines and carry the N
+// bit, mirroring the hpack encoder's never-indexed discipline.
+func (e *Encoder) AppendFieldSection(dst []byte, fields []hpack.HeaderField) []byte {
+	// Required Insert Count 0 (8-bit prefix), then Base: sign bit 0,
+	// Delta Base 0 (7-bit prefix).
+	dst = append(dst, 0x00, 0x00)
+	huff := !e.DisableHuffman
+	for _, f := range fields {
+		if !f.Sensitive {
+			if idx, ok := staticPair[nameValue{f.Name, f.Value}]; ok {
+				dst = appendVarInt(dst, 6, patIndexedStatic, uint64(idx))
+				continue
+			}
+		}
+		if idx, ok := staticName[f.Name]; ok {
+			pat := byte(patLiteralNameRef)
+			if f.Sensitive {
+				pat = patLiteralNeverRef
+			}
+			dst = appendVarInt(dst, 4, pat, uint64(idx))
+			dst = appendStringN(dst, f.Value, 7, 0, huff)
+			continue
+		}
+		pat := byte(patLiteralLiteral)
+		if f.Sensitive {
+			pat = patLiteralNeverLit
+		}
+		dst = appendStringN(dst, f.Name, 3, pat, huff)
+		dst = appendStringN(dst, f.Value, 7, 0, huff)
+	}
+	return dst
+}

@@ -1,0 +1,40 @@
+package qpack
+
+import "testing"
+
+// FuzzQPACKDecodeFull throws arbitrary bytes at the field-section
+// decoder. The decoder must never panic; when it accepts a section,
+// the decoded fields must survive a fresh encode→decode round trip
+// semantically (the encoder chooses canonical representations, so the
+// re-encoded section may differ byte-wise while decoding identically).
+func FuzzQPACKDecodeFull(f *testing.F) {
+	f.Add([]byte{0x00, 0x00})                                       // empty section
+	f.Add([]byte{0x00, 0x00, 0xd1})                                 // indexed :method GET
+	f.Add([]byte{0x00, 0x00, 0x51, 0x04, '/', 'a', 'b', 'c'})       // :path literal with name ref
+	f.Add([]byte{0x00, 0x00, 0x27, 0x03, 'x', '-', 'k', 0x01, 'v'}) // literal name + value
+	f.Add([]byte{0x00, 0x00, 0x80})                                 // dynamic reference: rejected
+	f.Add([]byte{0x01, 0x00, 0xd1})                                 // nonzero RIC: rejected
+	// Overlong varint continuation (the 32-bit bound regression class).
+	f.Add([]byte{0x00, 0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoder
+		fields, err := d.DecodeFieldSection(data)
+		if err != nil {
+			return
+		}
+		var e Encoder
+		sec := e.AppendFieldSection(nil, fields)
+		got, err := new(Decoder).DecodeFieldSection(sec)
+		if err != nil {
+			t.Fatalf("re-encoded section rejected: %v", err)
+		}
+		if len(got) != len(fields) {
+			t.Fatalf("round trip field count %d, want %d", len(got), len(fields))
+		}
+		for i := range fields {
+			if got[i].Name != fields[i].Name || got[i].Value != fields[i].Value || got[i].Sensitive != fields[i].Sensitive {
+				t.Fatalf("field %d round trip %+v, want %+v", i, got[i], fields[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+// Package qpack implements QPACK field compression for HTTP/3 as
+// specified by RFC 9204, in the static-table-only profile every
+// deployed encoder may fall back to: no dynamic table, so no encoder
+// stream, no decoder stream, and no risk of the head-of-line blocking
+// the dynamic table reintroduces — exactly the configuration an h3
+// client uses when SETTINGS_QPACK_MAX_TABLE_CAPACITY is zero.
+//
+// The package reuses the hpack package's canonical Huffman coding (the
+// flat LUT decoder and encoder — RFC 9204 §4.1.2 adopts RFC 7541's
+// Huffman table unchanged) and its HeaderField representation, and
+// applies the same bounds discipline as the hpack decoder: prefix
+// integers are capped at 32 bits, decoded strings at a configurable
+// maximum, and every truncation or overflow is a typed error — a
+// hostile field section can never commit the decoder to an unbounded
+// allocation.
+package qpack
+
+import (
+	"errors"
+
+	"respectorigin/internal/hpack"
+)
+
+// Decoding errors, mirroring the hpack error surface. Huffman-coded
+// string errors surface as hpack.ErrHuffman from the shared decoder.
+var (
+	// ErrTruncated is returned when a field section ends mid-field.
+	ErrTruncated = errors.New("qpack: truncated field section")
+
+	// ErrIntegerOverflow is returned when a prefix integer exceeds 32
+	// bits.
+	ErrIntegerOverflow = errors.New("qpack: integer overflow")
+
+	// ErrStringLength is returned when a decoded string exceeds the
+	// decoder's configured maximum.
+	ErrStringLength = errors.New("qpack: string too long")
+
+	// ErrInvalidIndex is returned for a static table index out of range.
+	ErrInvalidIndex = errors.New("qpack: invalid static table index")
+
+	// ErrDynamicUnsupported is returned for any field section that
+	// requires a dynamic table: a nonzero Required Insert Count or a
+	// dynamic/post-base reference. This decoder speaks the zero-capacity
+	// profile, so such sections are a peer error.
+	ErrDynamicUnsupported = errors.New("qpack: dynamic table reference in static-only mode")
+)
+
+// DefaultMaxStringLength bounds a single decoded string when the
+// decoder's owner did not set an explicit limit, matching
+// hpack.DefaultMaxStringLength.
+const DefaultMaxStringLength = 1 << 20
+
+// maxVarInt bounds decoded prefix integers, as in the hpack decoder:
+// indices and string lengths all fit in 32 bits, and RFC 9204 §4.1.1
+// inherits RFC 7541 §5.1's permission to cap accepted values.
+const maxVarInt = 1<<32 - 1
+
+// appendVarInt appends the prefix-integer representation of i using an
+// n-bit prefix OR-ed into first (RFC 9204 §4.1.1, identical to RFC
+// 7541 §5.1).
+func appendVarInt(dst []byte, n uint8, first byte, i uint64) []byte {
+	k := uint64(1)<<n - 1
+	if i < k {
+		return append(dst, first|byte(i))
+	}
+	dst = append(dst, first|byte(k))
+	i -= k
+	for i >= 128 {
+		dst = append(dst, byte(i)|0x80)
+		i >>= 7
+	}
+	return append(dst, byte(i))
+}
+
+// readVarInt decodes an n-bit-prefix integer from buf, returning the
+// value and the remaining bytes. Values above maxVarInt — including
+// continuation sequences long enough to wrap a uint64 accumulator —
+// are ErrIntegerOverflow.
+func readVarInt(buf []byte, n uint8) (uint64, []byte, error) {
+	if len(buf) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	k := uint64(1)<<n - 1
+	i := uint64(buf[0]) & k
+	buf = buf[1:]
+	if i < k {
+		return i, buf, nil
+	}
+	var shift uint
+	for {
+		if len(buf) == 0 {
+			return 0, nil, ErrTruncated
+		}
+		b := buf[0]
+		buf = buf[1:]
+		// Five continuation octets already cover 2^35 > maxVarInt; a
+		// sixth can only overflow (or wrap uint64), so reject it before
+		// touching the accumulator.
+		if shift > 28 {
+			return 0, nil, ErrIntegerOverflow
+		}
+		i += uint64(b&0x7f) << shift
+		if i > maxVarInt {
+			return 0, nil, ErrIntegerOverflow
+		}
+		if b&0x80 == 0 {
+			return i, buf, nil
+		}
+		shift += 7
+	}
+}
+
+// appendStringN appends a string literal whose length carries an n-bit
+// prefix with the Huffman bit at position n (the bit just above the
+// prefix), OR-ed into first. QPACK uses n=7 for values (H bit 0x80,
+// like HPACK) and n=3 for literal names (H bit 0x08).
+func appendStringN(dst []byte, s string, n uint8, first byte, huffman bool) []byte {
+	hBit := byte(1) << n
+	if huffman {
+		if hl := hpack.HuffmanEncodeLength(s); hl < uint64(len(s)) {
+			dst = appendVarInt(dst, n, first|hBit, hl)
+			return hpack.AppendHuffmanString(dst, s)
+		}
+	}
+	dst = appendVarInt(dst, n, first, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readStringN decodes a string literal with an n-bit length prefix and
+// the Huffman bit at position n. maxLen bounds the decoded length;
+// scratch is reused as the Huffman decode buffer.
+func readStringN(buf []byte, n uint8, maxLen uint64, scratch []byte) (s string, rest, scratchOut []byte, err error) {
+	if maxLen == 0 {
+		maxLen = DefaultMaxStringLength
+	}
+	if len(buf) == 0 {
+		return "", nil, scratch, ErrTruncated
+	}
+	huff := buf[0]&(1<<n) != 0
+	ln, rest, err := readVarInt(buf, n)
+	if err != nil {
+		return "", nil, scratch, err
+	}
+	if uint64(len(rest)) < ln {
+		return "", nil, scratch, ErrTruncated
+	}
+	raw := rest[:ln]
+	rest = rest[ln:]
+	if !huff {
+		if ln > maxLen {
+			return "", nil, scratch, ErrStringLength
+		}
+		return string(raw), rest, scratch, nil
+	}
+	dec, err := hpack.AppendHuffmanDecode(scratch[:0], raw, maxLen)
+	if err != nil {
+		return "", nil, dec, err
+	}
+	return string(dec), rest, dec, nil
+}

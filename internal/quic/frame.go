@@ -1,0 +1,307 @@
+package quic
+
+import "errors"
+
+// Variable-length integer encoding, RFC 9000 §16: the two high bits of
+// the first byte select a 1-, 2-, 4- or 8-byte encoding holding 6, 14,
+// 30 or 62 value bits.
+
+// MaxVarint is the largest value a QUIC varint can carry (2^62-1).
+const MaxVarint = 1<<62 - 1
+
+// maxFrameData bounds the payload a single CRYPTO/STREAM/NEW_TOKEN
+// frame may carry, mirroring the hpack/qpack string-length discipline:
+// a hostile length prefix must not commit the decoder to an unbounded
+// allocation.
+const maxFrameData = 1 << 20
+
+// Frame decoding errors.
+var (
+	// ErrTruncated is returned when a frame ends mid-field.
+	ErrTruncated = errors.New("quic: truncated frame")
+
+	// ErrVarintRange is returned when a value exceeds MaxVarint on
+	// encode (varints cannot represent it).
+	ErrVarintRange = errors.New("quic: value exceeds varint range")
+
+	// ErrUnknownFrame is returned for a frame type outside the QUIC-lite
+	// subset.
+	ErrUnknownFrame = errors.New("quic: unknown frame type")
+
+	// ErrDataLength is returned when a frame's payload length exceeds
+	// the decoder's bound.
+	ErrDataLength = errors.New("quic: frame payload too long")
+
+	// ErrFrameEncoding is returned for semantically invalid frames (an
+	// empty NEW_TOKEN token, a connection ID length outside 1-20).
+	ErrFrameEncoding = errors.New("quic: invalid frame encoding")
+)
+
+// AppendVarint appends the minimal-length RFC 9000 §16 encoding of v.
+// Values above MaxVarint cannot be represented and panic; frame
+// encoders validate their fields first and return ErrVarintRange.
+func AppendVarint(dst []byte, v uint64) []byte {
+	switch {
+	case v < 1<<6:
+		return append(dst, byte(v))
+	case v < 1<<14:
+		return append(dst, 0x40|byte(v>>8), byte(v))
+	case v < 1<<30:
+		return append(dst, 0x80|byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v <= MaxVarint:
+		return append(dst, 0xc0|byte(v>>56), byte(v>>48), byte(v>>40),
+			byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic("quic: value exceeds varint range")
+	}
+}
+
+// ReadVarint decodes one varint from buf, returning the value and the
+// number of bytes consumed.
+func ReadVarint(buf []byte) (v uint64, n int, err error) {
+	if len(buf) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	n = 1 << (buf[0] >> 6)
+	if len(buf) < n {
+		return 0, 0, ErrTruncated
+	}
+	v = uint64(buf[0] & 0x3f)
+	for i := 1; i < n; i++ {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, n, nil
+}
+
+// Frame types of the QUIC-lite subset (RFC 9000 §19). STREAM frames
+// occupy 0x08-0x0f: the low three bits are the OFF, LEN and FIN flags,
+// and parsing canonicalizes all eight variants to FrameStream.
+const (
+	FramePadding         = 0x00
+	FramePing            = 0x01
+	FrameCrypto          = 0x06
+	FrameNewToken        = 0x07
+	FrameStream          = 0x08
+	FrameMaxStreamData   = 0x11
+	FrameNewConnectionID = 0x18
+)
+
+const (
+	streamFlagFin = 0x01
+	streamFlagLen = 0x02
+	streamFlagOff = 0x04
+)
+
+// Frame is one parsed QUIC-lite frame. Type is the canonical base type
+// (FrameStream for every 0x08-0x0f variant); the other fields are
+// populated per type:
+//
+//	CRYPTO              Offset, Data
+//	NEW_TOKEN           Token
+//	STREAM              StreamID, Offset, Fin, Data
+//	MAX_STREAM_DATA     StreamID, Max
+//	NEW_CONNECTION_ID   Seq, RetirePrior, CID, ResetToken
+type Frame struct {
+	Type uint64
+
+	StreamID    uint64
+	Offset      uint64
+	Fin         bool
+	Data        []byte
+	Token       []byte
+	Max         uint64
+	Seq         uint64
+	RetirePrior uint64
+	CID         []byte
+	ResetToken  [16]byte
+}
+
+// checkVarints reports ErrVarintRange if any field to be
+// varint-encoded exceeds MaxVarint.
+func (f *Frame) checkVarints() error {
+	for _, v := range []uint64{f.StreamID, f.Offset, f.Max, f.Seq, f.RetirePrior} {
+		if v > MaxVarint {
+			return ErrVarintRange
+		}
+	}
+	return nil
+}
+
+// AppendFrame appends the canonical encoding of f: minimal varints,
+// and STREAM frames always carry an explicit length (self-delimiting),
+// with the OFF bit set only for nonzero offsets. Round-tripping any
+// parsed frame through AppendFrame and ReadFrame yields an identical
+// Frame value.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if err := f.checkVarints(); err != nil {
+		return dst, err
+	}
+	switch f.Type {
+	case FramePadding, FramePing:
+		return append(dst, byte(f.Type)), nil
+	case FrameCrypto:
+		if len(f.Data) > maxFrameData {
+			return dst, ErrDataLength
+		}
+		dst = append(dst, FrameCrypto)
+		dst = AppendVarint(dst, f.Offset)
+		dst = AppendVarint(dst, uint64(len(f.Data)))
+		return append(dst, f.Data...), nil
+	case FrameNewToken:
+		if len(f.Token) == 0 {
+			return dst, ErrFrameEncoding // RFC 9000 §19.7: token must be non-empty
+		}
+		if len(f.Token) > maxFrameData {
+			return dst, ErrDataLength
+		}
+		dst = append(dst, FrameNewToken)
+		dst = AppendVarint(dst, uint64(len(f.Token)))
+		return append(dst, f.Token...), nil
+	case FrameStream:
+		if len(f.Data) > maxFrameData {
+			return dst, ErrDataLength
+		}
+		t := byte(FrameStream | streamFlagLen)
+		if f.Offset > 0 {
+			t |= streamFlagOff
+		}
+		if f.Fin {
+			t |= streamFlagFin
+		}
+		dst = append(dst, t)
+		dst = AppendVarint(dst, f.StreamID)
+		if f.Offset > 0 {
+			dst = AppendVarint(dst, f.Offset)
+		}
+		dst = AppendVarint(dst, uint64(len(f.Data)))
+		return append(dst, f.Data...), nil
+	case FrameMaxStreamData:
+		dst = append(dst, FrameMaxStreamData)
+		dst = AppendVarint(dst, f.StreamID)
+		return AppendVarint(dst, f.Max), nil
+	case FrameNewConnectionID:
+		if len(f.CID) < 1 || len(f.CID) > 20 {
+			return dst, ErrFrameEncoding // RFC 9000 §19.15: length 1-20
+		}
+		dst = append(dst, FrameNewConnectionID)
+		dst = AppendVarint(dst, f.Seq)
+		dst = AppendVarint(dst, f.RetirePrior)
+		dst = append(dst, byte(len(f.CID)))
+		dst = append(dst, f.CID...)
+		return append(dst, f.ResetToken[:]...), nil
+	default:
+		return dst, ErrUnknownFrame
+	}
+}
+
+// ReadFrame parses one frame from buf, returning it and the remaining
+// bytes. Payload slices alias buf. STREAM frames without the LEN bit
+// extend to the end of buf, per RFC 9000 §19.8.
+func ReadFrame(buf []byte) (Frame, []byte, error) {
+	t, n, err := ReadVarint(buf)
+	if err != nil {
+		return Frame{}, nil, err
+	}
+	buf = buf[n:]
+	switch {
+	case t == FramePadding, t == FramePing:
+		return Frame{Type: t}, buf, nil
+	case t == FrameCrypto:
+		f := Frame{Type: t}
+		if f.Offset, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if f.Data, buf, err = readLengthPrefixed(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		return f, buf, nil
+	case t == FrameNewToken:
+		f := Frame{Type: t}
+		if f.Token, buf, err = readLengthPrefixed(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if len(f.Token) == 0 {
+			return Frame{}, nil, ErrFrameEncoding
+		}
+		return f, buf, nil
+	case t >= FrameStream && t <= FrameStream|0x07:
+		f := Frame{Type: FrameStream, Fin: t&streamFlagFin != 0}
+		if f.StreamID, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if t&streamFlagOff != 0 {
+			if f.Offset, buf, err = readVarintField(buf); err != nil {
+				return Frame{}, nil, err
+			}
+		}
+		if t&streamFlagLen != 0 {
+			if f.Data, buf, err = readLengthPrefixed(buf); err != nil {
+				return Frame{}, nil, err
+			}
+		} else {
+			if len(buf) > maxFrameData {
+				return Frame{}, nil, ErrDataLength
+			}
+			f.Data, buf = buf, nil
+		}
+		return f, buf, nil
+	case t == FrameMaxStreamData:
+		f := Frame{Type: t}
+		if f.StreamID, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if f.Max, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		return f, buf, nil
+	case t == FrameNewConnectionID:
+		f := Frame{Type: t}
+		if f.Seq, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if f.RetirePrior, buf, err = readVarintField(buf); err != nil {
+			return Frame{}, nil, err
+		}
+		if len(buf) == 0 {
+			return Frame{}, nil, ErrTruncated
+		}
+		cidLen := int(buf[0])
+		buf = buf[1:]
+		if cidLen < 1 || cidLen > 20 {
+			return Frame{}, nil, ErrFrameEncoding
+		}
+		if len(buf) < cidLen+16 {
+			return Frame{}, nil, ErrTruncated
+		}
+		f.CID = buf[:cidLen]
+		copy(f.ResetToken[:], buf[cidLen:cidLen+16])
+		return f, buf[cidLen+16:], nil
+	default:
+		return Frame{}, nil, ErrUnknownFrame
+	}
+}
+
+func readVarintField(buf []byte) (uint64, []byte, error) {
+	v, n, err := ReadVarint(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, buf[n:], nil
+}
+
+// readLengthPrefixed reads a varint length then that many bytes,
+// bounded by maxFrameData before any slice is taken.
+func readLengthPrefixed(buf []byte) ([]byte, []byte, error) {
+	n, consumed, err := ReadVarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf = buf[consumed:]
+	if n > maxFrameData {
+		return nil, nil, ErrDataLength
+	}
+	if uint64(len(buf)) < n {
+		return nil, nil, ErrTruncated
+	}
+	return buf[:n], buf[n:], nil
+}

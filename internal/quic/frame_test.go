@@ -1,0 +1,138 @@
+package quic
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 63, 64, 16383, 16384, 1<<30 - 1, 1 << 30, MaxVarint}
+	wantLen := []int{1, 1, 1, 2, 2, 4, 4, 8, 8}
+	for i, v := range values {
+		enc := AppendVarint(nil, v)
+		if len(enc) != wantLen[i] {
+			t.Errorf("varint %d encoded to %d bytes, want %d", v, len(enc), wantLen[i])
+		}
+		got, n, err := ReadVarint(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Errorf("ReadVarint(%d): got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("AppendVarint(MaxVarint+1) did not panic")
+		}
+	}()
+	AppendVarint(nil, MaxVarint+1)
+}
+
+func TestVarintTruncated(t *testing.T) {
+	if _, _, err := ReadVarint(nil); err != ErrTruncated {
+		t.Errorf("empty buf: err = %v, want ErrTruncated", err)
+	}
+	// 4-byte encoding cut to 2 bytes.
+	enc := AppendVarint(nil, 1<<20)
+	if _, _, err := ReadVarint(enc[:2]); err != ErrTruncated {
+		t.Errorf("cut varint: err = %v, want ErrTruncated", err)
+	}
+}
+
+func frameEqual(a, b Frame) bool {
+	return a.Type == b.Type && a.StreamID == b.StreamID && a.Offset == b.Offset &&
+		a.Fin == b.Fin && bytes.Equal(a.Data, b.Data) && bytes.Equal(a.Token, b.Token) &&
+		a.Max == b.Max && a.Seq == b.Seq && a.RetirePrior == b.RetirePrior &&
+		bytes.Equal(a.CID, b.CID) && a.ResetToken == b.ResetToken
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FramePadding},
+		{Type: FramePing},
+		{Type: FrameCrypto, Offset: 1200, Data: []byte("client hello")},
+		{Type: FrameNewToken, Token: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Type: FrameStream, StreamID: 4, Data: []byte("GET /")},
+		{Type: FrameStream, StreamID: 8, Offset: 65536, Fin: true, Data: []byte("x")},
+		{Type: FrameStream, StreamID: 0, Fin: true},
+		{Type: FrameMaxStreamData, StreamID: 12, Max: 1 << 20},
+		{Type: FrameNewConnectionID, Seq: 3, RetirePrior: 1,
+			CID: []byte{1, 2, 3, 4, 5, 6, 7, 8}, ResetToken: [16]byte{9: 0xaa}},
+	}
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		if buf, err = AppendFrame(buf, f); err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", f, err)
+		}
+	}
+	rest := buf
+	for i, want := range frames {
+		var got Frame
+		var err error
+		if got, rest, err = ReadFrame(rest); err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !frameEqual(got, want) {
+			t.Fatalf("frame #%d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after all frames", len(rest))
+	}
+}
+
+func TestFrameStreamNoLenExtendsToEnd(t *testing.T) {
+	// STREAM without the LEN bit: data runs to the end of the packet.
+	raw := []byte{FrameStream | streamFlagFin, 0x04, 'h', 'i'}
+	f, rest, err := ReadFrame(raw)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ReadFrame: err=%v rest=%d", err, len(rest))
+	}
+	if f.Type != FrameStream || f.StreamID != 4 || !f.Fin || string(f.Data) != "hi" {
+		t.Fatalf("parsed %+v", f)
+	}
+	// Canonical re-encoding (with LEN) round-trips to the same value.
+	enc, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	g, _, err := ReadFrame(enc)
+	if err != nil || !frameEqual(f, g) {
+		t.Fatalf("re-parse: %+v (err %v), want %+v", g, err, f)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"unknown type", []byte{0x21}, ErrUnknownFrame},
+		{"crypto cut mid-length", []byte{FrameCrypto, 0x00}, ErrTruncated},
+		{"crypto short payload", []byte{FrameCrypto, 0x00, 0x05, 'a'}, ErrTruncated},
+		{"empty new_token", []byte{FrameNewToken, 0x00}, ErrFrameEncoding},
+		{"ncid zero cid len", append([]byte{FrameNewConnectionID, 0x00, 0x00, 0x00}, make([]byte, 16)...), ErrFrameEncoding},
+		{"ncid cut reset token", []byte{FrameNewConnectionID, 0x00, 0x00, 0x01, 0xab}, ErrTruncated},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadFrame(c.buf); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	// Oversized length prefix is rejected before any allocation.
+	big := AppendVarint([]byte{FrameNewToken}, maxFrameData+1)
+	if _, _, err := ReadFrame(big); err != ErrDataLength {
+		t.Errorf("oversized token length: err = %v, want ErrDataLength", err)
+	}
+	if _, err := AppendFrame(nil, Frame{Type: FrameStream, Data: make([]byte, maxFrameData+1)}); err != ErrDataLength {
+		t.Errorf("oversized stream encode: err = %v, want ErrDataLength", err)
+	}
+	if _, err := AppendFrame(nil, Frame{Type: FrameStream, StreamID: MaxVarint + 1}); err != ErrVarintRange {
+		t.Errorf("out-of-range stream ID: err = %v, want ErrVarintRange", err)
+	}
+	if _, err := AppendFrame(nil, Frame{Type: 0x99}); err != ErrUnknownFrame {
+		t.Errorf("unknown type encode: err = %v, want ErrUnknownFrame", err)
+	}
+}

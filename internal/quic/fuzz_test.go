@@ -1,0 +1,39 @@
+package quic
+
+import "testing"
+
+// FuzzQUICFrameRoundTrip throws arbitrary bytes at the frame parser.
+// The parser must never panic; when it accepts a frame, re-encoding it
+// canonically (minimal varints, explicit STREAM lengths) and re-parsing
+// must yield an identical Frame value — the canonicalization is
+// idempotent even when the original wire form was non-minimal.
+func FuzzQUICFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{FramePing})
+	f.Add([]byte{FrameCrypto, 0x00, 0x03, 'a', 'b', 'c'})
+	f.Add([]byte{FrameNewToken, 0x02, 0xca, 0xfe})
+	f.Add([]byte{FrameStream | 0x07, 0x04, 0x19, 0x01, 'x'}) // OFF|LEN|FIN
+	f.Add([]byte{FrameStream, 0x00, 'n', 'o', 'l', 'e', 'n'})
+	f.Add([]byte{FrameMaxStreamData, 0x08, 0x44, 0x00})
+	f.Add(append([]byte{FrameNewConnectionID, 0x02, 0x01, 0x08, 1, 2, 3, 4, 5, 6, 7, 8}, make([]byte, 16)...))
+	f.Add([]byte{0x40, 0x01}) // non-minimal varint type encoding of PING
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, _, err := ReadFrame(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendFrame(nil, f1)
+		if err != nil {
+			t.Fatalf("parsed frame %+v failed to encode: %v", f1, err)
+		}
+		f2, rest, err := ReadFrame(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding of %+v failed to parse: %v", f1, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("canonical encoding of %+v left %d trailing bytes", f1, len(rest))
+		}
+		if !frameEqual(f1, f2) {
+			t.Fatalf("round trip changed frame: %+v -> %+v", f1, f2)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"respectorigin/internal/cache"
+	"respectorigin/internal/core"
+	"respectorigin/internal/netsim"
+	"respectorigin/internal/webgen"
+)
+
+// The sweep's h2 entry must equal the legacy WarmCold replay exactly:
+// the protocol thread is pure plumbing on the default path.
+func TestProtoSweepH2EntryMatchesWarmCold(t *testing.T) {
+	c := corpus(t, 300)
+	opts := cache.Options{}
+	sweep := c.ProtoSweep(3, opts)
+	if len(sweep) != len(core.Protocols) {
+		t.Fatalf("sweep has %d entries, want %d", len(sweep), len(core.Protocols))
+	}
+	legacy := c.WarmCold(3, opts)
+	for _, pc := range sweep {
+		if pc.Proto != core.ProtoH2 {
+			continue
+		}
+		if !reflect.DeepEqual(pc.Visits, legacy) {
+			t.Fatalf("h2 sweep entry differs from WarmCold:\n got %+v\nwant %+v", pc.Visits, legacy)
+		}
+		return
+	}
+	t.Fatal("sweep has no h2 entry")
+}
+
+// The rendered sweep table is byte-identical for any worker count —
+// the acceptance gate for -proto-sweep determinism.
+func TestProtoSweepTableWorkerInvariance(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 300
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cache.Options{}
+	p := netsim.DefaultParams()
+	want := ProtoSweepTable(NewCorpusWorkers(ds, 1).ProtoSweep(2, opts), p, "inv")
+	if want == "" {
+		t.Fatal("empty sweep table")
+	}
+	for _, w := range []int{4, 16} {
+		got := ProtoSweepTable(NewCorpusWorkers(ds, w).ProtoSweep(2, opts), p, "inv")
+		if got != want {
+			t.Errorf("workers=%d sweep table differs from workers=1:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// The warm h3 visit must beat the warm h1 visit on arithmetic setup
+// cost (0-RTT plus token sharing versus keep-alive with full TLS), and
+// the deployment-level sweep must stay consistent per visit.
+func TestProtoSweepFrontierOrdering(t *testing.T) {
+	c := corpus(t, 300)
+	sweep := c.ProtoSweep(2, cache.Options{})
+	p := netsim.DefaultParams()
+	byProto := map[core.Protocol]core.VisitCosts{}
+	for _, pc := range sweep {
+		for v, vc := range pc.Visits {
+			if !vc.Consistent() {
+				t.Fatalf("%s visit %d: inconsistent ledger %+v", pc.Proto, v+1, vc)
+			}
+		}
+		byProto[pc.Proto] = pc.Visits[len(pc.Visits)-1]
+	}
+	h1 := protoSetupMs(byProto[core.ProtoH1], core.ProtoH1, p)
+	h2 := protoSetupMs(byProto[core.ProtoH2], core.ProtoH2, p)
+	h3 := protoSetupMs(byProto[core.ProtoH3], core.ProtoH3, p)
+	if !(h3 < h2 && h2 < h1) {
+		t.Fatalf("warm setup cost not ordered h3 < h2 < h1: h1=%.1f h2=%.1f h3=%.1f", h1, h2, h3)
+	}
+	if byProto[core.ProtoH3].ZeroRTT == 0 {
+		t.Fatal("warm h3 visit achieved no 0-RTT handshakes")
+	}
+}

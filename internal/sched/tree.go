@@ -195,7 +195,10 @@ func (t *Tree) allocate(n *node, amount float64, out map[uint32]float64) {
 	if totalW == 0 {
 		return
 	}
-	// Deterministic order for reproducibility.
+	// Deterministic order for reproducibility: stream ids are the
+	// t.nodes map keys, so every share carries a distinct id and the
+	// comparison is a strict total order — the unstable sort has no
+	// equal elements to permute, whatever order children were added in.
 	sort.Slice(shares, func(i, j int) bool { return shares[i].c.id < shares[j].c.id })
 	for _, s := range shares {
 		t.allocate(s.c, amount*s.w/totalW, out)
