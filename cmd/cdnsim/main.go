@@ -26,6 +26,7 @@ import (
 	_ "net/http/pprof"
 
 	"respectorigin/internal/cache"
+	"respectorigin/internal/cliflags"
 	"respectorigin/internal/cdn"
 	"respectorigin/internal/core"
 	"respectorigin/internal/faults"
@@ -45,7 +46,7 @@ func cacheOptions(ticketLifetimeSeconds int) cache.Options {
 
 func main() {
 	sample := flag.Int("sample", 5000, "candidate sample domains (paper: 5000)")
-	seed := flag.Int64("seed", 1, "seed")
+	seed := cliflags.Seed(1)
 	phase := flag.String("phase", "all", "ip | origin | passive | all")
 	days := flag.Int("days", 28, "longitudinal window in days")
 	faultSpec := flag.String("faults", "", "fault plan, e.g. reset=0.05,dnsfail=0.01,stale=0.02,loss=2 (empty: none)")

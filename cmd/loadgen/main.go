@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"respectorigin/internal/cliflags"
 	"respectorigin/internal/core"
 	"respectorigin/internal/loadgen"
 	"respectorigin/internal/report"
@@ -29,8 +30,8 @@ import (
 func main() {
 	def := loadgen.DefaultConfig()
 	users := flag.Int("users", def.Users, "number of arriving users")
-	seed := flag.Int64("seed", def.Seed, "seed (same seed + flags => byte-identical summary)")
-	workers := flag.Int("workers", 0, "simulation workers (0 = all cores; output is identical either way)")
+	seed := cliflags.Seed(def.Seed)
+	workers := cliflags.Workers(0)
 	arrival := flag.String("arrival", def.Arrival, "arrival process: poisson | diurnal | flash")
 	rate := flag.Float64("rate", def.RatePerSec, "mean user arrival rate per second")
 	zones := flag.Int("zones", def.Zones, "customer zones on the CDN")
@@ -42,7 +43,7 @@ func main() {
 	idleSec := flag.Float64("idle-timeout-sec", def.IdleTimeoutSec, "server idle timeout closing pooled connections")
 	sweep := flag.String("sweep", "", "comma-separated rate multipliers; runs one point per value and prints the under-load table")
 	protoName := flag.String("proto", "h2", "application protocol modern clients speak: h1 | h2 | h3")
-	out := flag.String("out", "", "write the NDJSON summary to this file (- for stdout)")
+	out := cliflags.Out("", "the NDJSON summary")
 	flag.Parse()
 
 	proto, err := core.ParseProtocol(*protoName)
@@ -90,17 +91,16 @@ func main() {
 	}
 
 	if *out != "" {
-		w := os.Stdout
-		if *out != "-" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			w = f
+		o, err := cliflags.OpenOutput(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
 		}
-		if err := loadgen.WriteNDJSON(w, results...); err != nil {
+		err = loadgen.WriteNDJSON(o, results...)
+		if cerr := o.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -17,12 +17,13 @@ import (
 	"strconv"
 	"strings"
 
+	"respectorigin/internal/cliflags"
 	"respectorigin/internal/conformance"
 )
 
 func main() {
-	sites := flag.Int("sites", 400, "corpus size per replay run")
-	seed := flag.Int64("seed", 1, "generator seed, fixed across runs")
+	sites := cliflags.Sites(400)
+	seed := cliflags.Seed(1)
 	workers := flag.String("workers", "1,4,16", "comma-separated worker counts to cross-check")
 	repeats := flag.Int("repeats", 2, "runs per worker count")
 	flag.Parse()

@@ -3,21 +3,27 @@
 //
 // Usage:
 //
-//	report -sites 20000                  # everything
-//	report -sites 20000 -table 2        # one table
-//	report -sites 20000 -figure 3       # one figure
+//	report -sites 20000                        # everything
+//	report -sites 20000 -table 2               # one table
+//	report -sites 20000 -figure 3              # one figure
+//	report -in dataset.col                     # crawl output, either encoding
+//	report -manifest s0.manifest.json,s1.manifest.json   # sharded crawl
+//	report -in dataset.col -reencode           # re-emit as NDJSON and exit
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
-	"runtime"
+	"strings"
 
 	"respectorigin/internal/asn"
 	"respectorigin/internal/cache"
+	"respectorigin/internal/cliflags"
 	"respectorigin/internal/core"
+	"respectorigin/internal/corpus"
 	"respectorigin/internal/har"
 	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
@@ -26,9 +32,11 @@ import (
 )
 
 func main() {
-	sites := flag.Int("sites", 20000, "corpus size")
-	seed := flag.Int64("seed", 1, "generator seed")
-	inFile := flag.String("in", "", "load corpus from an NDJSON file (cmd/crawl output) instead of generating")
+	sites := cliflags.Sites(20000)
+	seed := cliflags.Seed(1)
+	inFile := flag.String("in", "", "load a corpus file (cmd/crawl output, NDJSON or columnar) instead of generating")
+	manifests := flag.String("manifest", "", "comma-separated shard manifests of a multi-process crawl; shards merge in rank order")
+	reencode := flag.Bool("reencode", false, "with -in or -manifest: re-emit the corpus as NDJSON on stdout and exit (the cross-format gate)")
 	harFile := flag.String("har", "", "load a standard HAR 1.2 archive (WebPageTest/DevTools) instead of generating")
 	asnFile := flag.String("asn", "", "IP-to-ASN prefix file ('prefix asn org' lines) for -har imports")
 	table := flag.Int("table", 0, "print only this table (1-9)")
@@ -37,7 +45,7 @@ func main() {
 	privacyOnly := flag.Bool("privacy", false, "print only the §6.2 privacy-exposure comparison")
 	policiesOnly := flag.Bool("policies", false, "print only the §2.3 policy cross-validation")
 	schedOnly := flag.Bool("scheduling", false, "print only the §6.1 delivery-ordering comparison")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for generation and analysis")
+	workers := cliflags.Workers(0)
 	funnelFile := flag.String("funnel", "", "print the coalescing funnel of this NDJSON trace (crawl/cdnsim -trace output) and exit")
 	cacheOn := flag.Bool("cache", false, "print the warm-path cache warm/cold savings table and exit")
 	revisits := flag.Int("revisits", 2, "visits per page in the warm/cold replay (with -cache)")
@@ -68,6 +76,32 @@ func main() {
 		return
 	}
 
+	if *reencode {
+		r, err := openCorpus(*inFile, *manifests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriterSize(os.Stdout, 1<<20)
+		w := corpus.NewWriter(bw, corpus.FormatNDJSON)
+		_, err = corpus.Copy(w, r)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var c *report.Corpus
 	var ds *webgen.Dataset
 	if *harFile != "" {
 		db := asn.NewDB()
@@ -97,19 +131,20 @@ func main() {
 			os.Exit(1)
 		}
 		ds = &webgen.Dataset{Pages: pages, ASDB: db}
-	} else if *inFile != "" {
-		f, err := os.Open(*inFile)
+	} else if *inFile != "" || *manifests != "" {
+		r, err := openCorpus(*inFile, *manifests)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			os.Exit(1)
 		}
-		pages, err := har.ReadJSON(f)
-		f.Close()
+		c, err = report.NewCorpusFromReader(r, 0, *workers)
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			os.Exit(1)
 		}
-		ds = &webgen.Dataset{Pages: pages, ASDB: webgen.RebuildASDB(pages)}
 	} else {
 		cfg := webgen.DefaultConfig()
 		cfg.Sites = *sites
@@ -122,7 +157,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	c := report.NewCorpusWorkers(ds, *workers)
+	if c == nil {
+		c = report.NewCorpusWorkers(ds, *workers)
+	}
 
 	if *cacheOn || *protoSweep {
 		opts := cache.Options{TicketLifetimeSeconds: *ticketLife}
@@ -201,4 +238,19 @@ func main() {
 		_, pol := c.PolicyComparison()
 		fmt.Println(pol)
 	}
+}
+
+// openCorpus resolves the two corpus-input flags: -manifest chains
+// shard files (verifying checksums as they stream), -in opens a single
+// file sniffing its encoding. Exactly one may be set.
+func openCorpus(inFile, manifests string) (corpus.Reader, error) {
+	switch {
+	case inFile != "" && manifests != "":
+		return nil, fmt.Errorf("-in and -manifest are mutually exclusive")
+	case manifests != "":
+		return corpus.OpenManifest(strings.Split(manifests, ",")...)
+	case inFile != "":
+		return corpus.Open(inFile)
+	}
+	return nil, fmt.Errorf("-reencode needs -in or -manifest")
 }

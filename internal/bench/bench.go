@@ -30,7 +30,7 @@ func (bm Benchmark) ID() string { return bm.Suite + "/" + bm.Name }
 // MicroSuites are the per-package hot-path suites; "micro" selects all
 // of them at once. The pipeline suite is excluded: it runs the full
 // corpus→crawl→report stack and is priced accordingly.
-var MicroSuites = []string{"hpack", "qpack", "h2", "obs", "measure"}
+var MicroSuites = []string{"hpack", "qpack", "h2", "obs", "measure", "corpus"}
 
 // All returns every registered benchmark in deterministic order.
 func All() []Benchmark {
@@ -40,6 +40,7 @@ func All() []Benchmark {
 	out = append(out, h2Suite()...)
 	out = append(out, obsSuite()...)
 	out = append(out, measureSuite()...)
+	out = append(out, corpusSuite()...)
 	out = append(out, pipelineSuite()...)
 	out = append(out, loadgenSuite()...)
 	return out

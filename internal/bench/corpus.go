@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"respectorigin/internal/corpus"
+	"respectorigin/internal/har"
+	"respectorigin/internal/webgen"
+)
+
+// corpusFixture is a fixed generated corpus encoded both ways, built
+// once and shared by every corpus benchmark so encode and decode runs
+// price exactly the same pages.
+var corpusFixture struct {
+	once     sync.Once
+	pages    []*har.Page
+	ndjson   []byte
+	columnar []byte
+	err      error
+}
+
+func corpusFixtureInit() error {
+	corpusFixture.once.Do(func() {
+		cfg := webgen.DefaultConfig()
+		cfg.Sites = 150
+		cfg.Seed = 1
+		cfg.Workers = 1
+		ds, err := webgen.Generate(cfg)
+		if err != nil {
+			corpusFixture.err = err
+			return
+		}
+		corpusFixture.pages = ds.Pages
+		for _, f := range []corpus.Format{corpus.FormatNDJSON, corpus.FormatColumnar} {
+			var buf bytes.Buffer
+			w := corpus.NewWriter(&buf, f)
+			for _, p := range ds.Pages {
+				if err := w.Write(p); err != nil {
+					corpusFixture.err = err
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				corpusFixture.err = err
+				return
+			}
+			if f == corpus.FormatNDJSON {
+				corpusFixture.ndjson = buf.Bytes()
+			} else {
+				corpusFixture.columnar = buf.Bytes()
+			}
+		}
+	})
+	return corpusFixture.err
+}
+
+// decodeBench drains one full decode of raw in format f per iteration
+// and reports pages/op so the two formats' page throughput compares
+// directly in the trajectory file.
+func decodeBench(f corpus.Format, raw func() []byte) func(b *testing.B) {
+	return func(b *testing.B) {
+		if err := corpusFixtureInit(); err != nil {
+			b.Fatal(err)
+		}
+		enc := raw()
+		b.SetBytes(int64(len(enc)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		pages := 0
+		for i := 0; i < b.N; i++ {
+			r := corpus.NewReader(bytes.NewReader(enc), f)
+			for {
+				_, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages++
+			}
+		}
+		b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+	}
+}
+
+func encodeBench(f corpus.Format) func(b *testing.B) {
+	return func(b *testing.B) {
+		if err := corpusFixtureInit(); err != nil {
+			b.Fatal(err)
+		}
+		pages := corpusFixture.pages
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := corpus.NewWriter(io.Discard, f)
+			for _, p := range pages {
+				if err := w.Write(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// corpusSuite prices the corpus codecs on a fixed generated corpus.
+// The columnar paths are gated — the codec is ours, so its allocs/op
+// are exact budgets; the NDJSON paths ride encoding/json, whose
+// internals shift across Go releases, and stay informational.
+func corpusSuite() []Benchmark {
+	return []Benchmark{
+		{Suite: "corpus", Name: "ColumnarDecode", Gated: true,
+			F: decodeBench(corpus.FormatColumnar, func() []byte { return corpusFixture.columnar })},
+		{Suite: "corpus", Name: "NDJSONDecode", Gated: false,
+			F: decodeBench(corpus.FormatNDJSON, func() []byte { return corpusFixture.ndjson })},
+		{Suite: "corpus", Name: "ColumnarEncode", Gated: true, F: encodeBench(corpus.FormatColumnar)},
+		{Suite: "corpus", Name: "NDJSONEncode", Gated: false, F: encodeBench(corpus.FormatNDJSON)},
+	}
+}

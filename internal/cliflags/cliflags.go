@@ -1,0 +1,67 @@
+// Package cliflags centralizes the flag plumbing the binaries were
+// each duplicating — the deterministic -seed, the -workers goroutine
+// count, the -out destination with its "-"-for-stdout convention —
+// so every command describes and parses them identically. Commands
+// register only the flags they support; defaults stay per-command.
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"os"
+)
+
+// Seed registers -seed: the deterministic generator seed every
+// reproducible run hangs off.
+func Seed(def int64) *int64 {
+	return flag.Int64("seed", def, "deterministic seed (same seed and flags => byte-identical output)")
+}
+
+// Workers registers -workers. Every consumer normalizes via
+// internal/parallel, so values ≤ 0 select all cores and any count
+// yields identical output.
+func Workers(def int) *int {
+	return flag.Int("workers", def, "worker goroutines (<=0 selects all cores; output is identical for any count)")
+}
+
+// Sites registers -sites, the corpus size.
+func Sites(def int) *int {
+	return flag.Int("sites", def, "number of ranked sites to attempt")
+}
+
+// Out registers -out; what names the artifact in the usage line.
+func Out(def, what string) *string {
+	return flag.String("out", def, "write "+what+" to this file (- for stdout)")
+}
+
+// Output is a resolved -out destination.
+type Output struct {
+	io.Writer
+	file *os.File
+}
+
+// Stdout reports whether the destination is standard output.
+func (o *Output) Stdout() bool { return o.file == nil }
+
+// Close closes the underlying file and returns its error — on a full
+// disk the close is where truncation surfaces, so callers must check
+// it. Closing a stdout Output is a no-op.
+func (o *Output) Close() error {
+	if o.file == nil {
+		return nil
+	}
+	return o.file.Close()
+}
+
+// OpenOutput resolves an -out value: "-" (or empty) is stdout,
+// anything else is created fresh.
+func OpenOutput(path string) (*Output, error) {
+	if path == "" || path == "-" {
+		return &Output{Writer: os.Stdout}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Writer: f, file: f}, nil
+}

@@ -1,0 +1,53 @@
+package cliflags
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenOutputStdout(t *testing.T) {
+	for _, path := range []string{"", "-"} {
+		o, err := OpenOutput(path)
+		if err != nil {
+			t.Fatalf("OpenOutput(%q): %v", path, err)
+		}
+		if !o.Stdout() {
+			t.Fatalf("OpenOutput(%q) did not resolve to stdout", path)
+		}
+		if err := o.Close(); err != nil {
+			t.Fatalf("closing stdout output: %v", err)
+		}
+	}
+}
+
+func TestOpenOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.out")
+	o, err := OpenOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stdout() {
+		t.Fatal("file output reported as stdout")
+	}
+	if _, err := o.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != "hi" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	// Double close surfaces the file's error rather than hiding it.
+	if err := o.Close(); err == nil {
+		t.Fatal("second Close returned nil")
+	}
+}
+
+func TestOpenOutputBadPath(t *testing.T) {
+	if _, err := OpenOutput(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Fatal("OpenOutput into a missing directory succeeded")
+	}
+}

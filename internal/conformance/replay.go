@@ -6,6 +6,7 @@ import (
 
 	"respectorigin/internal/cache"
 	"respectorigin/internal/core"
+	"respectorigin/internal/corpus"
 	"respectorigin/internal/har"
 	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
@@ -38,9 +39,10 @@ func (d Divergence) String() string {
 
 // artifacts is one run's complete observable output.
 type artifacts struct {
-	corpus []byte // crawl NDJSON
-	trace  []byte // obs trace NDJSON
-	report []byte // analysis tables and headline
+	corpus   []byte // crawl NDJSON
+	columnar []byte // the same pages in the columnar encoding
+	trace    []byte // obs trace NDJSON
+	report   []byte // analysis tables and headline
 }
 
 // RunReplay replays the seeded crawl once per (worker count, repeat)
@@ -71,6 +73,7 @@ func RunReplay(cfg ReplayConfig) ([]Divergence, error) {
 				want, have []byte
 			}{
 				{"corpus", base.corpus, got.corpus},
+				{"columnar", base.columnar, got.columnar},
 				{"trace", base.trace, got.trace},
 				{"report", base.report, got.report},
 			} {
@@ -87,22 +90,33 @@ func RunReplay(cfg ReplayConfig) ([]Divergence, error) {
 }
 
 // runOnce mirrors the cmd/crawl + cmd/report pipeline in memory: stream
-// the generated corpus to NDJSON while recording trace events, then
-// re-parse the NDJSON (exactly what the report command would read back)
-// and render the analysis.
+// the generated corpus through the corpus API into both encodings while
+// recording trace events, cross-check the encodings against each other,
+// then re-parse the NDJSON (exactly what the report command would read
+// back) and render the analysis.
 func runOnce(sites int, seed int64, workers int) (*artifacts, error) {
 	cfg := webgen.DefaultConfig()
 	cfg.Sites = sites
 	cfg.Seed = seed
 	cfg.Workers = workers
 
-	var corpus bytes.Buffer
+	var ndjsonBuf, colBuf bytes.Buffer
 	trace := obs.NewTrace()
-	sw := har.NewStreamWriter(&corpus)
+	nw := corpus.NewWriter(&ndjsonBuf, corpus.FormatNDJSON)
+	cw := corpus.NewWriter(&colBuf, corpus.FormatColumnar)
 	if _, err := webgen.GenerateStream(cfg, func(p *har.Page) error {
 		core.EmitPageEvents(trace, p)
-		return sw.Write(p)
+		if err := nw.Write(p); err != nil {
+			return err
+		}
+		return cw.Write(p)
 	}); err != nil {
+		return nil, err
+	}
+	if err := nw.Close(); err != nil {
+		return nil, err
+	}
+	if err := cw.Close(); err != nil {
 		return nil, err
 	}
 	var traceOut bytes.Buffer
@@ -110,7 +124,23 @@ func runOnce(sites int, seed int64, workers int) (*artifacts, error) {
 		return nil, err
 	}
 
-	pages, err := har.ReadJSON(bytes.NewReader(corpus.Bytes()))
+	// Cross-format gate: decoding the columnar bytes and re-encoding as
+	// NDJSON must reproduce the direct NDJSON byte for byte. A mismatch
+	// is a codec bug, not a scheduling divergence, so it fails the run
+	// outright rather than producing a Divergence.
+	var roundtrip bytes.Buffer
+	rw := corpus.NewWriter(&roundtrip, corpus.FormatNDJSON)
+	if _, err := corpus.Copy(rw, corpus.NewReader(bytes.NewReader(colBuf.Bytes()), corpus.FormatColumnar)); err != nil {
+		return nil, fmt.Errorf("columnar decode: %w", err)
+	}
+	if err := rw.Close(); err != nil {
+		return nil, err
+	}
+	if off, detail, same := firstDiff(ndjsonBuf.Bytes(), roundtrip.Bytes()); !same {
+		return nil, fmt.Errorf("columnar->NDJSON round trip diverged from direct NDJSON at byte %d: %s", off, detail)
+	}
+
+	pages, err := corpus.ReadAll(corpus.NewReader(bytes.NewReader(ndjsonBuf.Bytes()), corpus.FormatNDJSON))
 	if err != nil {
 		return nil, err
 	}
@@ -134,9 +164,10 @@ func runOnce(sites int, seed int64, workers int) (*artifacts, error) {
 	rep.WriteString(report.ProtoSweepTable(sweep, netsim.DefaultParams(), "corpus"))
 
 	return &artifacts{
-		corpus: append([]byte(nil), corpus.Bytes()...),
-		trace:  traceOut.Bytes(),
-		report: rep.Bytes(),
+		corpus:   ndjsonBuf.Bytes(),
+		columnar: colBuf.Bytes(),
+		trace:    traceOut.Bytes(),
+		report:   rep.Bytes(),
 	}, nil
 }
 

@@ -1,0 +1,567 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+
+	"respectorigin/internal/har"
+)
+
+// The columnar encoding: a magic header, then a sequence of page
+// blocks, then an end marker.
+//
+//	file  := magic block* end
+//	magic := "RCORP\x00" version:byte   (version = 1)
+//	block := uvarint(npages>0) col{4}   (meta, entries, dns, sans)
+//	col   := uvarint(len) bytes
+//	end   := uvarint(0) uvarint(total pages)
+//
+// Within a block the four column streams carry, page by page:
+//
+//	meta    := url host rank dom_ms on_ms extra_dns extra_tls nentries
+//	entries := nentries × fixed entry fields (timings, flags, IP, …)
+//	dns     := nentries × (naddr naddr×addr)   — the DNS answer sets
+//	sans    := nentries × (nsan nsan×string)   — certificate SANs
+//
+// Strings are uvarint-length-prefixed bytes; floats are IEEE 754 bits
+// little-endian (exact round trip, so re-encoding to NDJSON reproduces
+// encoding/json's shortest float rendering byte for byte); addresses
+// are raw 4/16-byte forms (17 with a zone). Splitting entries from
+// their variable-length answer and SAN sets keeps the hot fixed-stride
+// entry decode tight while the rarely-large streams stay out of its
+// way.
+
+// ColumnarVersion is the version byte written after the magic prefix.
+const ColumnarVersion = 1
+
+const (
+	columnarMagicPrefix = "RCORP\x00"
+	columnarMagic       = columnarMagicPrefix + "\x01" // prefix + version
+)
+
+// columnarBlockPages is the number of pages batched per block: large
+// enough to amortize framing, small enough that a streaming reader's
+// working set stays a few megabytes regardless of corpus size.
+const columnarBlockPages = 256
+
+const (
+	entrySecure = 1 << iota
+	entryNewDNS
+	entryNewTLS
+	entryRenderBlocking
+)
+
+// --- encoding ---
+
+// colBuf is an append-only column buffer.
+type colBuf struct{ b []byte }
+
+func (c *colBuf) reset()             { c.b = c.b[:0] }
+func (c *colBuf) uvarint(x uint64)   { c.b = binary.AppendUvarint(c.b, x) }
+func (c *colBuf) svarint(x int64)    { c.b = binary.AppendVarint(c.b, x) }
+func (c *colBuf) f64(v float64)      { c.b = binary.LittleEndian.AppendUint64(c.b, math.Float64bits(v)) }
+func (c *colBuf) byte(v byte)        { c.b = append(c.b, v) }
+func (c *colBuf) str(s string) {
+	c.b = binary.AppendUvarint(c.b, uint64(len(s)))
+	c.b = append(c.b, s...)
+}
+
+func (c *colBuf) addr(a netip.Addr) {
+	switch {
+	case !a.IsValid():
+		c.byte(0)
+	case a.Zone() != "":
+		c.byte(17)
+		v := a.WithZone("").As16()
+		c.b = append(c.b, v[:]...)
+		c.str(a.Zone())
+	case a.Is4():
+		c.byte(4)
+		v := a.As4()
+		c.b = append(c.b, v[:]...)
+	default:
+		c.byte(16)
+		v := a.As16()
+		c.b = append(c.b, v[:]...)
+	}
+}
+
+type columnarWriter struct {
+	w       io.Writer
+	meta    colBuf
+	ents    colBuf
+	dns     colBuf
+	sans    colBuf
+	hdr     []byte
+	n       int // pages in the open block
+	total   int
+	started bool
+	closed  bool
+	err     error
+}
+
+// NewColumnarWriter returns a Writer emitting the columnar binary
+// encoding to w. Close writes the end marker and must be checked.
+func NewColumnarWriter(w io.Writer) Writer { return &columnarWriter{w: w} }
+
+func (cw *columnarWriter) start() error {
+	if cw.started {
+		return nil
+	}
+	cw.started = true
+	_, err := io.WriteString(cw.w, columnarMagic)
+	return err
+}
+
+func (cw *columnarWriter) Write(p *har.Page) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.closed {
+		return fmt.Errorf("corpus: write to closed columnar writer")
+	}
+	if err := cw.start(); err != nil {
+		cw.err = err
+		return err
+	}
+	m := &cw.meta
+	m.str(p.URL)
+	m.str(p.Host)
+	m.uvarint(uint64(p.Rank))
+	m.f64(p.DOMLoadMs)
+	m.f64(p.OnLoadMs)
+	m.uvarint(uint64(p.ExtraDNS))
+	m.uvarint(uint64(p.ExtraTLS))
+	m.uvarint(uint64(len(p.Entries)))
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		c := &cw.ents
+		c.f64(e.StartedMs)
+		c.str(e.URL)
+		c.str(e.Host)
+		c.str(e.Method)
+		c.str(e.Protocol)
+		c.svarint(int64(e.Status))
+		c.str(e.MimeType)
+		c.svarint(e.BodySize)
+		var flags byte
+		if e.Secure {
+			flags |= entrySecure
+		}
+		if e.NewDNS {
+			flags |= entryNewDNS
+		}
+		if e.NewTLS {
+			flags |= entryNewTLS
+		}
+		if e.RenderBlocking {
+			flags |= entryRenderBlocking
+		}
+		c.byte(flags)
+		c.addr(e.ServerIP)
+		c.uvarint(uint64(e.ServerASN))
+		c.str(e.CertIssuer)
+		c.svarint(int64(e.Initiator))
+		t := &e.Timings
+		c.f64(t.Blocked)
+		c.f64(t.DNS)
+		c.f64(t.Connect)
+		c.f64(t.SSL)
+		c.f64(t.Send)
+		c.f64(t.Wait)
+		c.f64(t.Receive)
+
+		cw.dns.uvarint(uint64(len(e.DNSAnswer)))
+		for _, a := range e.DNSAnswer {
+			cw.dns.addr(a)
+		}
+		cw.sans.uvarint(uint64(len(e.CertSANs)))
+		for _, s := range e.CertSANs {
+			cw.sans.str(s)
+		}
+	}
+	cw.n++
+	cw.total++
+	if cw.n >= columnarBlockPages {
+		if err := cw.flushBlock(); err != nil {
+			cw.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (cw *columnarWriter) flushBlock() error {
+	if cw.n == 0 {
+		return nil
+	}
+	cw.hdr = cw.hdr[:0]
+	cw.hdr = binary.AppendUvarint(cw.hdr, uint64(cw.n))
+	cols := [4]*colBuf{&cw.meta, &cw.ents, &cw.dns, &cw.sans}
+	for _, c := range cols {
+		cw.hdr = binary.AppendUvarint(cw.hdr, uint64(len(c.b)))
+	}
+	if _, err := cw.w.Write(cw.hdr); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if _, err := cw.w.Write(c.b); err != nil {
+			return err
+		}
+		c.reset()
+	}
+	cw.n = 0
+	return nil
+}
+
+func (cw *columnarWriter) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	if err := cw.start(); err != nil {
+		cw.err = err
+		return err
+	}
+	if err := cw.flushBlock(); err != nil {
+		cw.err = err
+		return err
+	}
+	var end []byte
+	end = binary.AppendUvarint(end, 0)
+	end = binary.AppendUvarint(end, uint64(cw.total))
+	if _, err := cw.w.Write(end); err != nil {
+		cw.err = err
+		return err
+	}
+	return nil
+}
+
+// --- decoding ---
+
+var errTruncated = fmt.Errorf("corpus: truncated columnar stream")
+
+// colDec decodes one column's bytes with a sticky error, so the
+// per-field reads stay branch-light on the hot path.
+type colDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *colDec) fail() {
+	if d.err == nil {
+		d.err = errTruncated
+	}
+}
+
+func (d *colDec) uvarint() uint64 {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *colDec) svarint() int64 {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *colDec) f64() float64 {
+	if d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return math.Float64frombits(v)
+}
+
+func (d *colDec) byte() byte {
+	if d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *colDec) bytes(n int) []byte {
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *colDec) str() string {
+	n := int(d.uvarint())
+	b := d.bytes(n)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(b)
+}
+
+// strInterned reads a string drawn from a small value set (methods,
+// protocol names, MIME types, issuers) through the intern table so
+// repeated values share one allocation across the whole corpus.
+func (d *colDec) strInterned(in map[string]string) string {
+	n := int(d.uvarint())
+	b := d.bytes(n)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	if s, ok := in[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	s := string(b)
+	in[s] = s
+	return s
+}
+
+func (d *colDec) addr() netip.Addr {
+	switch n := d.byte(); n {
+	case 0:
+		return netip.Addr{}
+	case 4:
+		b := d.bytes(4)
+		if d.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom4([4]byte(b))
+	case 16:
+		b := d.bytes(16)
+		if d.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom16([16]byte(b))
+	case 17:
+		b := d.bytes(16)
+		if d.err != nil {
+			return netip.Addr{}
+		}
+		a := netip.AddrFrom16([16]byte(b))
+		return a.WithZone(d.str())
+	default:
+		d.fail()
+		return netip.Addr{}
+	}
+}
+
+func (d *colDec) done() bool { return d.err == nil && d.off == len(d.b) }
+
+type columnarReader struct {
+	br        *bufio.Reader
+	meta      colDec
+	ents      colDec
+	dns       colDec
+	sans      colDec
+	bufs      [4][]byte // reused block column storage
+	remaining int       // pages left in the open block
+	read      int       // pages decoded so far
+	intern    map[string]string
+	started   bool
+	done      bool
+	err       error
+}
+
+// NewColumnarReader returns a Reader decoding the columnar binary
+// encoding from r.
+func NewColumnarReader(r io.Reader) Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	return &columnarReader{br: br, intern: make(map[string]string, 64)}
+}
+
+func (cr *columnarReader) fail(err error) (*har.Page, error) {
+	cr.err = err
+	return nil, err
+}
+
+func (cr *columnarReader) Next() (*har.Page, error) {
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	if cr.done {
+		return nil, io.EOF
+	}
+	if !cr.started {
+		head := make([]byte, len(columnarMagic))
+		if _, err := io.ReadFull(cr.br, head); err != nil {
+			return cr.fail(fmt.Errorf("corpus: reading columnar header: %w", err))
+		}
+		if string(head[:len(columnarMagicPrefix)]) != columnarMagicPrefix {
+			return cr.fail(fmt.Errorf("corpus: not a columnar corpus (bad magic)"))
+		}
+		if v := head[len(columnarMagic)-1]; v != ColumnarVersion {
+			return cr.fail(fmt.Errorf("corpus: columnar format version %d not supported (this build reads version %d)", v, ColumnarVersion))
+		}
+		cr.started = true
+	}
+	if cr.remaining == 0 {
+		if err := cr.readBlock(); err != nil {
+			if err != io.EOF {
+				cr.err = err
+			}
+			return nil, err
+		}
+	}
+	p, err := cr.decodePage()
+	if err != nil {
+		return cr.fail(err)
+	}
+	cr.remaining--
+	cr.read++
+	if cr.remaining == 0 {
+		// A block's columns must be consumed exactly by its pages.
+		for name, d := range map[string]*colDec{"meta": &cr.meta, "entries": &cr.ents, "dns": &cr.dns, "sans": &cr.sans} {
+			if !d.done() {
+				return cr.fail(fmt.Errorf("corpus: columnar %s column not fully consumed (corrupt block)", name))
+			}
+		}
+	}
+	return p, nil
+}
+
+// readBlock loads the next block's columns, or observes the end marker
+// and returns io.EOF after verifying the trailing page total.
+func (cr *columnarReader) readBlock() error {
+	npages, err := binary.ReadUvarint(cr.br)
+	if err != nil {
+		return fmt.Errorf("corpus: reading columnar block header: %w", err)
+	}
+	if npages == 0 {
+		total, err := binary.ReadUvarint(cr.br)
+		if err != nil {
+			return fmt.Errorf("corpus: reading columnar trailer: %w", err)
+		}
+		if int(total) != cr.read {
+			return fmt.Errorf("corpus: columnar trailer records %d pages, stream carried %d", total, cr.read)
+		}
+		cr.done = true
+		return io.EOF
+	}
+	decs := [4]*colDec{&cr.meta, &cr.ents, &cr.dns, &cr.sans}
+	var lens [4]uint64
+	for i := range lens {
+		if lens[i], err = binary.ReadUvarint(cr.br); err != nil {
+			return fmt.Errorf("corpus: reading columnar block header: %w", err)
+		}
+		if lens[i] > 1<<31 {
+			return fmt.Errorf("corpus: columnar column block of %d bytes exceeds the 2 GiB bound", lens[i])
+		}
+	}
+	for i, d := range decs {
+		n := int(lens[i])
+		if cap(cr.bufs[i]) < n {
+			cr.bufs[i] = make([]byte, n)
+		}
+		cr.bufs[i] = cr.bufs[i][:n]
+		if _, err := io.ReadFull(cr.br, cr.bufs[i]); err != nil {
+			return fmt.Errorf("corpus: reading columnar block: %w", err)
+		}
+		*d = colDec{b: cr.bufs[i]}
+	}
+	cr.remaining = int(npages)
+	return nil
+}
+
+func (cr *columnarReader) decodePage() (*har.Page, error) {
+	m := &cr.meta
+	p := &har.Page{
+		URL:  m.str(),
+		Host: m.str(),
+		Rank: int(m.uvarint()),
+	}
+	p.DOMLoadMs = m.f64()
+	p.OnLoadMs = m.f64()
+	p.ExtraDNS = int(m.uvarint())
+	p.ExtraTLS = int(m.uvarint())
+	nent := int(m.uvarint())
+	if m.err != nil {
+		return nil, m.err
+	}
+	if nent > len(cr.ents.b) { // each entry is ≥ 1 byte in its column
+		return nil, fmt.Errorf("corpus: columnar page declares %d entries, column has %d bytes", nent, len(cr.ents.b))
+	}
+	if nent > 0 {
+		p.Entries = make([]har.Entry, nent)
+	}
+	for i := 0; i < nent; i++ {
+		e := &p.Entries[i]
+		c := &cr.ents
+		e.StartedMs = c.f64()
+		e.URL = c.str()
+		e.Host = c.str()
+		e.Method = c.strInterned(cr.intern)
+		e.Protocol = c.strInterned(cr.intern)
+		e.Status = int(c.svarint())
+		e.MimeType = c.strInterned(cr.intern)
+		e.BodySize = c.svarint()
+		flags := c.byte()
+		e.Secure = flags&entrySecure != 0
+		e.NewDNS = flags&entryNewDNS != 0
+		e.NewTLS = flags&entryNewTLS != 0
+		e.RenderBlocking = flags&entryRenderBlocking != 0
+		e.ServerIP = c.addr()
+		e.ServerASN = uint32(c.uvarint())
+		e.CertIssuer = c.strInterned(cr.intern)
+		e.Initiator = int(c.svarint())
+		t := &e.Timings
+		t.Blocked = c.f64()
+		t.DNS = c.f64()
+		t.Connect = c.f64()
+		t.SSL = c.f64()
+		t.Send = c.f64()
+		t.Wait = c.f64()
+		t.Receive = c.f64()
+
+		if naddr := int(cr.dns.uvarint()); cr.dns.err == nil && naddr > 0 {
+			if naddr > len(cr.dns.b) {
+				return nil, fmt.Errorf("corpus: columnar DNS answer set of %d exceeds column size", naddr)
+			}
+			e.DNSAnswer = make([]netip.Addr, naddr)
+			for j := range e.DNSAnswer {
+				e.DNSAnswer[j] = cr.dns.addr()
+			}
+		}
+		if nsan := int(cr.sans.uvarint()); cr.sans.err == nil && nsan > 0 {
+			if nsan > len(cr.sans.b) {
+				return nil, fmt.Errorf("corpus: columnar SAN set of %d exceeds column size", nsan)
+			}
+			e.CertSANs = make([]string, nsan)
+			for j := range e.CertSANs {
+				e.CertSANs[j] = cr.sans.str()
+			}
+		}
+	}
+	for _, d := range [4]*colDec{m, &cr.ents, &cr.dns, &cr.sans} {
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return p, nil
+}
+
+func (cr *columnarReader) Close() error { return nil }

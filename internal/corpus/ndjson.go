@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"encoding/json"
+	"io"
+
+	"respectorigin/internal/har"
+)
+
+// ndjsonWriter emits one JSON page per line via the har codec, so its
+// bytes are identical to the historical har.StreamWriter output the
+// golden byte-identity gates were recorded against.
+type ndjsonWriter struct {
+	sw *har.StreamWriter
+}
+
+// NewNDJSONWriter returns a Writer encoding pages as newline-delimited
+// JSON to w. Close is a no-op (the encoding has no trailer); file
+// flushing belongs to whoever owns the file.
+func NewNDJSONWriter(w io.Writer) Writer {
+	return &ndjsonWriter{sw: har.NewStreamWriter(w)}
+}
+
+func (n *ndjsonWriter) Write(p *har.Page) error { return n.sw.Write(p) }
+func (n *ndjsonWriter) Close() error            { return nil }
+
+// ndjsonReader streams pages out of a newline-delimited JSON corpus.
+type ndjsonReader struct {
+	dec *json.Decoder
+}
+
+// NewNDJSONReader returns a Reader decoding newline-delimited JSON
+// pages from r.
+func NewNDJSONReader(r io.Reader) Reader {
+	return &ndjsonReader{dec: json.NewDecoder(r)}
+}
+
+func (n *ndjsonReader) Next() (*har.Page, error) {
+	var p har.Page
+	if err := n.dec.Decode(&p); err != nil {
+		return nil, err // io.EOF passes through at end of stream
+	}
+	return &p, nil
+}
+
+func (n *ndjsonReader) Close() error { return nil }

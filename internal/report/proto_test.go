@@ -13,7 +13,7 @@ import (
 // The sweep's h2 entry must equal the legacy WarmCold replay exactly:
 // the protocol thread is pure plumbing on the default path.
 func TestProtoSweepH2EntryMatchesWarmCold(t *testing.T) {
-	c := corpus(t, 300)
+	c := testCorpus(t, 300)
 	opts := cache.Options{}
 	sweep := c.ProtoSweep(3, opts)
 	if len(sweep) != len(core.Protocols) {
@@ -59,7 +59,7 @@ func TestProtoSweepTableWorkerInvariance(t *testing.T) {
 // cost (0-RTT plus token sharing versus keep-alive with full TLS), and
 // the deployment-level sweep must stay consistent per visit.
 func TestProtoSweepFrontierOrdering(t *testing.T) {
-	c := corpus(t, 300)
+	c := testCorpus(t, 300)
 	sweep := c.ProtoSweep(2, cache.Options{})
 	p := netsim.DefaultParams()
 	byProto := map[core.Protocol]core.VisitCosts{}

@@ -8,7 +8,7 @@ import (
 	"respectorigin/internal/webgen"
 )
 
-func corpus(t *testing.T, sites int) *Corpus {
+func testCorpus(t *testing.T, sites int) *Corpus {
 	t.Helper()
 	cfg := webgen.DefaultConfig()
 	cfg.Sites = sites
@@ -20,7 +20,7 @@ func corpus(t *testing.T, sites int) *Corpus {
 }
 
 func TestTable1(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	rows, txt := c.Table1(5)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
@@ -45,7 +45,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2TopASes(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	top, txt := c.Table2(10)
 	if len(top) != 10 {
 		t.Fatalf("top = %d", len(top))
@@ -64,7 +64,7 @@ func TestTable2TopASes(t *testing.T) {
 }
 
 func TestTable3Protocols(t *testing.T) {
-	c := corpus(t, 500)
+	c := testCorpus(t, 500)
 	counts, secure, txt := c.Table3()
 	if counts["h2"] == 0 || counts["http/1.1"] == 0 {
 		t.Error("protocol counts empty")
@@ -78,7 +78,7 @@ func TestTable3Protocols(t *testing.T) {
 }
 
 func TestTable4Issuers(t *testing.T) {
-	c := corpus(t, 500)
+	c := testCorpus(t, 500)
 	top, _ := c.Table4(10)
 	if len(top) == 0 {
 		t.Fatal("no issuers")
@@ -89,7 +89,7 @@ func TestTable4Issuers(t *testing.T) {
 }
 
 func TestTable5ContentTypes(t *testing.T) {
-	c := corpus(t, 500)
+	c := testCorpus(t, 500)
 	top, _ := c.Table5(12)
 	found := false
 	for _, e := range top[:3] {
@@ -103,7 +103,7 @@ func TestTable5ContentTypes(t *testing.T) {
 }
 
 func TestTable6PerASTypes(t *testing.T) {
-	c := corpus(t, 500)
+	c := testCorpus(t, 500)
 	rows, txt := c.Table6(3, 4)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
@@ -119,7 +119,7 @@ func TestTable6PerASTypes(t *testing.T) {
 }
 
 func TestTable7Hostnames(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	top, _ := c.Table7(10)
 	names := map[string]bool{}
 	for _, e := range top {
@@ -131,7 +131,7 @@ func TestTable7Hostnames(t *testing.T) {
 }
 
 func TestTable8And9(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	rows, txt := c.Table8(10)
 	if len(rows) != 10 {
 		t.Fatalf("table 8 rows = %d", len(rows))
@@ -152,7 +152,7 @@ func TestTable8And9(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
-	c := corpus(t, 800)
+	c := testCorpus(t, 800)
 	hist, cdf, txt := c.Figure1()
 	if len(hist) == 0 || len(cdf) == 0 {
 		t.Fatal("empty figure 1")
@@ -166,7 +166,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
-	c := corpus(t, 50)
+	c := testCorpus(t, 50)
 	txt := c.Figure2(0, 70)
 	if !strings.Contains(txt, "Time saved") {
 		t.Error("figure 2 missing time saved")
@@ -178,7 +178,7 @@ func TestFigure2(t *testing.T) {
 }
 
 func TestFigure3Ordering(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	d, txt := c.Figure3()
 	if len(d.MeasuredDNS) == 0 || len(d.IdealOrigin) == 0 {
 		t.Fatal("empty CDFs")
@@ -192,7 +192,7 @@ func TestFigure3Ordering(t *testing.T) {
 }
 
 func TestFigure4And5(t *testing.T) {
-	c := corpus(t, 1000)
+	c := testCorpus(t, 1000)
 	ex, id, txt := c.Figure4()
 	if len(ex) == 0 || len(id) == 0 {
 		t.Fatal("empty figure 4")
@@ -216,7 +216,7 @@ func TestFigure4And5(t *testing.T) {
 }
 
 func TestFigure9Model(t *testing.T) {
-	c := corpus(t, 400)
+	c := testCorpus(t, 400)
 	d, txt := c.Figure9Model(13335)
 	if d.MedianOrigin > d.MedianMeasured {
 		t.Errorf("ORIGIN PLT median %.0f worse than measured %.0f", d.MedianOrigin, d.MedianMeasured)
@@ -235,7 +235,7 @@ func TestFigure9Model(t *testing.T) {
 }
 
 func TestHeadlineReport(t *testing.T) {
-	c := corpus(t, 1500)
+	c := testCorpus(t, 1500)
 	h, txt := c.Headline()
 	if h.MedianIdealOrigin >= h.MedianMeasuredTLS {
 		t.Errorf("headline: origin %.0f not better than measured %.0f",
@@ -307,7 +307,7 @@ func TestFigure9Deployment(t *testing.T) {
 }
 
 func TestPrivacyReportIntegration(t *testing.T) {
-	c := corpus(t, 300)
+	c := testCorpus(t, 300)
 	rows, txt := c.PrivacyReport()
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
@@ -321,7 +321,7 @@ func TestPrivacyReportIntegration(t *testing.T) {
 }
 
 func TestSchedulingReportIntegration(t *testing.T) {
-	c := corpus(t, 100)
+	c := testCorpus(t, 100)
 	cmp, txt := c.SchedulingReport(6)
 	if cmp.CoalescedInversions != 0 {
 		t.Errorf("coalesced inversions = %d", cmp.CoalescedInversions)
@@ -335,7 +335,7 @@ func TestSchedulingReportIntegration(t *testing.T) {
 }
 
 func TestPolicyComparisonCrossValidatesModel(t *testing.T) {
-	c := corpus(t, 800)
+	c := testCorpus(t, 800)
 	stats, txt := c.PolicyComparison()
 	if len(stats) != 3 {
 		t.Fatalf("stats = %d", len(stats))

@@ -1,0 +1,27 @@
+package report
+
+import (
+	"respectorigin/internal/corpus"
+	"respectorigin/internal/webgen"
+)
+
+// NewCorpusFromReader drains a corpus reader — a single file opened
+// with corpus.Open, or shard files chained by corpus.OpenManifest —
+// into an analysis Corpus. The IP→ASN database is rebuilt from the
+// observed pages, exactly as the historical NDJSON -in path did, so a
+// merged multi-shard corpus produces tables byte-identical to a
+// single-process run. The reader is drained but not closed; failures
+// is the crawl's failed-attempt count (0 when unknown).
+//
+// The tables and figures make repeated passes over the pages, so this
+// entry point materializes them in memory; what sharding removes is
+// any intermediate merged corpus file — shards stream straight off
+// disk through the manifest reader into the accumulator here.
+func NewCorpusFromReader(r corpus.Reader, failures, workers int) (*Corpus, error) {
+	pages, err := corpus.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	ds := &webgen.Dataset{Pages: pages, Failures: failures, ASDB: webgen.RebuildASDB(pages)}
+	return NewCorpusWorkers(ds, workers), nil
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"respectorigin/internal/cache"
+	"respectorigin/internal/core"
+	"respectorigin/internal/corpus"
+	"respectorigin/internal/webgen"
+)
+
+// encodeDS writes a dataset's pages in the given corpus format.
+func encodeDS(t *testing.T, ds *webgen.Dataset, f corpus.Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := corpus.NewWriter(&buf, f)
+	for _, p := range ds.Pages {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A corpus read back through either encoding must analyze identically
+// to the in-memory dataset it came from — the property that makes
+// cmd/report over crawl output equivalent to generating inline.
+func TestNewCorpusFromReaderMatchesInMemory(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 150
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline rebuilds the ASDB from pages exactly as the reader
+	// path does, isolating the serialization under test.
+	base := NewCorpusWorkers(&webgen.Dataset{Pages: ds.Pages, Failures: ds.Failures, ASDB: webgen.RebuildASDB(ds.Pages)}, 2)
+	_, wantT1 := base.Table1(5)
+	_, wantT2 := base.Table2(10)
+	_, wantHL := base.Headline()
+
+	for _, f := range []corpus.Format{corpus.FormatNDJSON, corpus.FormatColumnar} {
+		raw := encodeDS(t, ds, f)
+		c, err := NewCorpusFromReader(corpus.NewReader(bytes.NewReader(raw), f), ds.Failures, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if _, got := c.Table1(5); got != wantT1 {
+			t.Fatalf("%s: Table1 differs from in-memory corpus", f)
+		}
+		if _, got := c.Table2(10); got != wantT2 {
+			t.Fatalf("%s: Table2 differs from in-memory corpus", f)
+		}
+		if _, got := c.Headline(); got != wantHL {
+			t.Fatalf("%s: Headline differs from in-memory corpus", f)
+		}
+	}
+}
+
+// The streaming replay fold must equal the in-memory map-reduce: same
+// pages, same per-visit ledgers, for every protocol and both formats.
+func TestReplayReaderSequenceMatchesWarmCold(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Sites = 120
+	ds, err := webgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCorpusWorkers(ds, 4)
+	opts := cache.Options{}
+	const revisits = 2
+	for _, f := range []corpus.Format{corpus.FormatNDJSON, corpus.FormatColumnar} {
+		raw := encodeDS(t, ds, f)
+		for _, proto := range core.Protocols {
+			want := c.WarmColdProto(revisits, opts, proto)
+			got, pages, err := core.ReplayReaderSequence(corpus.NewReader(bytes.NewReader(raw), f), revisits, opts, proto)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f, proto, err)
+			}
+			if pages != len(ds.Pages) {
+				t.Fatalf("%s/%s: streamed %d pages, corpus has %d", f, proto, pages, len(ds.Pages))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d visits, want %d", f, proto, len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s/%s visit %d: streaming ledger %+v differs from map-reduce %+v",
+						f, proto, v+1, got[v], want[v])
+				}
+			}
+		}
+	}
+}

@@ -35,7 +35,7 @@ func TestWarmColdWorkerInvariance(t *testing.T) {
 // load, and the per-cause decomposition is exact (demand identities
 // hold, so every avoided unit is attributed with no remainder).
 func TestWarmColdSecondVisitStrictlyCheaper(t *testing.T) {
-	c := corpus(t, 400)
+	c := testCorpus(t, 400)
 	costs := c.WarmCold(2, cache.Options{})
 	if len(costs) != 2 {
 		t.Fatalf("visits = %d", len(costs))
@@ -74,7 +74,7 @@ func TestWarmColdSecondVisitStrictlyCheaper(t *testing.T) {
 // resumption off the warm visit still avoids validations — via the
 // chain memo — while full handshakes stay flat aside from coalescing.
 func TestWarmColdTicketsDisabledFallsBackToMemo(t *testing.T) {
-	c := corpus(t, 200)
+	c := testCorpus(t, 200)
 	costs := c.WarmCold(2, cache.Options{TicketLifetimeSeconds: cache.TicketsDisabled})
 	cold, warm := costs[0], costs[1]
 	if warm.ResumedTLS != 0 || cold.ResumedTLS != 0 {

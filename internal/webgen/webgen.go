@@ -39,6 +39,14 @@ type Config struct {
 	// runtime.GOMAXPROCS. Every page is a pure function of (Seed, rank),
 	// so output is byte-identical for every worker count.
 	Workers int
+	// RankLo and RankHi restrict generation to ranks [RankLo, RankHi).
+	// Zero values mean the whole corpus, [1, Sites+1). Pages are pure
+	// functions of (Seed, rank, Sites), so a sub-range run emits exactly
+	// the pages a full run would for those ranks — the invariant that
+	// lets independent OS processes each crawl one shard and have the
+	// concatenation reproduce a single-process crawl byte for byte.
+	// Sites stays the full corpus size in sharded runs.
+	RankLo, RankHi int
 }
 
 // DefaultConfig returns a corpus configuration matching the paper's
@@ -104,6 +112,20 @@ func GenerateStream(cfg Config, emit func(*har.Page) error) (*StreamResult, erro
 	if cfg.Net.RTTMs == 0 {
 		cfg.Net = netsim.DefaultParams()
 	}
+	rankLo, rankHi := cfg.RankLo, cfg.RankHi
+	if rankLo == 0 && rankHi == 0 {
+		rankLo, rankHi = 1, cfg.Sites+1
+	}
+	if rankLo < 1 || rankHi > cfg.Sites+1 || rankLo > rankHi {
+		return nil, fmt.Errorf("webgen: rank range [%d,%d) outside [1,%d)", rankLo, rankHi, cfg.Sites+1)
+	}
+	nranks := rankHi - rankLo
+	if nranks == 0 {
+		// Empty shard (e.g. more shards than sites): a legal no-op run.
+		db := asn.NewDB()
+		registerProviders(db)
+		return &StreamResult{ASDB: db}, nil
+	}
 	workers := parallel.Normalize(cfg.Workers)
 	db := asn.NewDB()
 	registerProviders(db)
@@ -121,17 +143,17 @@ func GenerateStream(cfg Config, emit func(*har.Page) error) (*StreamResult, erro
 	}
 
 	if workers == 1 {
-		return res, emitShard(genShard(cfg, 1, cfg.Sites+1))
+		return res, emitShard(genShard(cfg, rankLo, rankHi))
 	}
 
-	span := (cfg.Sites + workers*8 - 1) / (workers * 8)
+	span := (nranks + workers*8 - 1) / (workers * 8)
 	if span < 1 {
 		span = 1
 	}
 	if span > 256 {
 		span = 256
 	}
-	nshards := (cfg.Sites + span - 1) / span
+	nshards := (nranks + span - 1) / span
 	results := make([]chan shardResult, nshards)
 	for i := range results {
 		results[i] = make(chan shardResult, 1)
@@ -156,10 +178,10 @@ func GenerateStream(cfg Config, emit func(*har.Page) error) (*StreamResult, erro
 				case <-done:
 					return
 				}
-				lo := 1 + s*span
+				lo := rankLo + s*span
 				hi := lo + span
-				if hi > cfg.Sites+1 {
-					hi = cfg.Sites + 1
+				if hi > rankHi {
+					hi = rankHi
 				}
 				results[s] <- genShard(cfg, lo, hi)
 			}

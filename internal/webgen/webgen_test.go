@@ -397,3 +397,67 @@ func TestRebuildASDBRoundTrip(t *testing.T) {
 		t.Error("provider org lost")
 	}
 }
+
+// Rank-range runs are the multi-process sharding primitive: generating
+// [1,N+1) in one run must equal concatenating independent sub-range
+// runs byte for byte, with the same failures and merged ASN database.
+func TestGenerateStreamRankRangeByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites = 301 // deliberately not divisible by the shard count
+	full, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON := ndjsonBytes(t, full)
+
+	var buf bytes.Buffer
+	var failures int
+	merged := asn.NewDB()
+	bounds := []int{1, 101, 202, cfg.Sites + 1}
+	for i := 0; i+1 < len(bounds); i++ {
+		shCfg := cfg
+		shCfg.RankLo, shCfg.RankHi = bounds[i], bounds[i+1]
+		shCfg.Workers = 1 + i%2*3 // mix worker counts across shards
+		sw := har.NewStreamWriter(&buf)
+		res, err := GenerateStream(shCfg, sw.Write)
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", bounds[i], bounds[i+1], err)
+		}
+		failures += res.Failures
+		if err := merged.Merge(res.ASDB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), fullJSON) {
+		t.Fatal("concatenated rank-range runs differ from the full run")
+	}
+	if failures != full.Failures {
+		t.Fatalf("sharded failures %d, full run %d", failures, full.Failures)
+	}
+	fe, me := full.ASDB.Entries(), merged.Entries()
+	if len(fe) != len(me) {
+		t.Fatalf("merged ASDB has %d entries, full run %d", len(me), len(fe))
+	}
+	for i := range fe {
+		if fe[i] != me[i] {
+			t.Fatalf("ASDB entry %d differs: %+v vs %+v", i, me[i], fe[i])
+		}
+	}
+}
+
+func TestGenerateStreamRankRangeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites = 10
+	for _, tc := range [][2]int{{0, 5}, {1, 13}, {7, 3}} {
+		cfg.RankLo, cfg.RankHi = tc[0], tc[1]
+		if _, err := GenerateStream(cfg, func(*har.Page) error { return nil }); err == nil {
+			t.Fatalf("rank range [%d,%d) accepted", tc[0], tc[1])
+		}
+	}
+	// Empty range is legal: zero pages, providers still registered.
+	cfg.RankLo, cfg.RankHi = 4, 4
+	res, err := GenerateStream(cfg, func(*har.Page) error { t.Fatal("emit on empty range"); return nil })
+	if err != nil || res.Pages != 0 || res.ASDB == nil {
+		t.Fatalf("empty range: %+v, %v", res, err)
+	}
+}
