@@ -10,7 +10,14 @@
 //	cdnsim -sample 2000 -phase origin
 //	cdnsim -sample 2000 -faults reset=0.05,dnsfail=0.01,loss=2 -retries 2
 //	cdnsim -sample 2000 -faultsweep
+//	cdnsim -matrix -sites 150 -workers 4
+//	cdnsim -matrix -personas chrome,mobile -profiles wired,3g -out cells.ndjson
 //
+// With -matrix, cdnsim runs the scenario sweep instead: every selected
+// client persona replays every page-archetype corpus under every
+// network profile and resolver transport, and the "who coalesces, who
+// shards, what it costs" table is printed (cell NDJSON goes to -out).
+// The sweep is byte-identical at any -workers count.
 // With -faults, every visit samples the given degradation plan from a
 // seeded stream independent of the experiment's own randomness; the
 // same seed and plan reproduce the run byte for byte, and an empty plan
@@ -33,6 +40,7 @@ import (
 	"respectorigin/internal/netsim"
 	"respectorigin/internal/obs"
 	"respectorigin/internal/report"
+	"respectorigin/internal/scenario"
 )
 
 // cacheOptions maps the warm-path flag values onto cache.Options.
@@ -59,7 +67,45 @@ func main() {
 	ticketLife := flag.Int("ticket-lifetime", cache.DefaultTicketLifetimeSeconds, "TLS session-ticket lifetime in seconds (0 disables resumption)")
 	protoName := flag.String("proto", "h2", "application protocol for the warm/cold measurement (h1, h2, h3)")
 	protoSweep := flag.Bool("proto-sweep", false, "print the per-protocol (h1/h2/h3) savings decomposition for the deployment sample and exit")
+	matrix := flag.Bool("matrix", false, "run the persona × archetype × profile × transport scenario sweep and exit")
+	sites := cliflags.Sites(150)
+	workers := cliflags.Workers(0)
+	personas := flag.String("personas", "", "with -matrix: comma-separated persona selector (chrome, safari, mobile; empty: all)")
+	archetypes := flag.String("archetypes", "", "with -matrix: comma-separated page-archetype selector (baseline, sharded, migration; empty: all)")
+	profiles := flag.String("profiles", "", "with -matrix: comma-separated network-profile selector (wired, 4g, 3g, satellite; empty: all)")
+	dns := flag.String("dns", "", "with -matrix: comma-separated resolver-transport selector (do53, doh; empty: both)")
+	matrixOut := cliflags.Out("", "matrix cell NDJSON (with -matrix; empty: table only)")
 	flag.Parse()
+
+	if *matrix {
+		cfg, err := scenario.ConfigFromSelectors(*seed, *sites, *workers, *personas, *archetypes, *profiles, *dns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table())
+		if *matrixOut != "" {
+			out, err := cliflags.OpenOutput(*matrixOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+				os.Exit(1)
+			}
+			err = res.WriteNDJSON(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	plan, err := faults.ParsePlan(*faultSpec)
 	if err != nil {

@@ -43,6 +43,7 @@ func All() []Benchmark {
 	out = append(out, corpusSuite()...)
 	out = append(out, pipelineSuite()...)
 	out = append(out, loadgenSuite()...)
+	out = append(out, scenarioSuite()...)
 	return out
 }
 

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"respectorigin/internal/scenario"
+)
+
+// scenarioSites keeps one sweep iteration around a hundred
+// milliseconds: the 72-cell cross-product dominates, the per-archetype
+// corpus generation amortizes across cells.
+const (
+	scenarioSites = 40
+	scenarioSeed  = 1
+)
+
+// scenarioSuite measures the matrix engine end to end at the worker
+// counts the determinism gate exercises. Ungated: each cell spans
+// corpus decode, browser pools, caches and pricing, so allocation
+// counts are workload-shaped rather than a fixed hot-path budget.
+func scenarioSuite() []Benchmark {
+	var out []Benchmark
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		out = append(out, Benchmark{
+			Suite: "scenario",
+			Name:  fmt.Sprintf("MatrixRun/sites=%d/seed=%d/workers=%d", scenarioSites, scenarioSeed, workers),
+			F: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := scenario.DefaultConfig()
+				cfg.Sites = scenarioSites
+				cfg.Seed = scenarioSeed
+				cfg.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if _, err := scenario.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	return out
+}

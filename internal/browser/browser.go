@@ -120,6 +120,21 @@ type Conn struct {
 	// Proto is the protocol this connection speaks (may differ from the
 	// browser's configured protocol after an Alt-Svc h3→h2 downgrade).
 	Proto Protocol
+
+	// lastUse orders the pool for LRU eviction: it is the browser's
+	// use-sequence number at the connection's most recent open or reuse.
+	lastUse int
+	// speculative marks a connection opened by Preconnect rather than by
+	// a request; used flips when a request first rides it. A speculative
+	// connection that is never used is a wasted socket.
+	speculative bool
+	used        bool
+}
+
+// Speculative reports whether the connection was opened by Preconnect,
+// and whether any request has ridden it since.
+func (c *Conn) Speculative() (speculative, used bool) {
+	return c.speculative, c.used
 }
 
 // covers reports whether the connection's certificate covers host,
@@ -223,6 +238,27 @@ type Browser struct {
 	// does not sleep in wall-clock time).
 	RetryBackoffMs float64
 
+	// MaxConns caps the pool's total size. When opening a fresh
+	// connection would exceed it, the least recently used pooled
+	// connection is evicted first. 0 (the default) leaves the pool
+	// unbounded, preserving the historical behaviour.
+	MaxConns int
+	// MaxConnsPerHost caps how many pooled connections may exist for one
+	// hostname. At the cap, a request that would open another connection
+	// for the host instead multiplexes onto a reachable existing one
+	// (same-host reuse); if every pooled connection for the host is
+	// stale — the server moved, every reuse would 421 — the oldest are
+	// evicted to make room for exactly one replacement, so a capped pool
+	// never leaks dead sockets. 0 means uncapped.
+	MaxConnsPerHost int
+
+	// DNSTransport keys every warm-path DNS cache touch (lookups,
+	// positive answers, negative entries). The zero value (TransportDo53)
+	// preserves the historical cache keying byte for byte; a sweep that
+	// toggles resolver transport mid-run gets per-transport entries that
+	// never cross-serve.
+	DNSTransport cache.DNSTransport
+
 	// Rec, when non-nil, receives one span-style event per step of
 	// every request (DNS query → TLS handshake → coalesce decision)
 	// plus "browser.*" counters. Rank tags the events with the page
@@ -241,8 +277,9 @@ type Browser struct {
 	// browsing sessions.
 	Cache *cache.Cache
 
-	seq   int
-	conns []*Conn
+	seq    int
+	useSeq int // monotone use counter feeding Conn.lastUse
+	conns  []*Conn
 
 	// Totals across all requests.
 	TotalDNS     int
@@ -260,6 +297,12 @@ type Browser struct {
 	// h3-path totals (all zero unless Proto is ProtoH3).
 	TotalZeroRTT    int // 0-RTT handshakes (ticket + token both on hand)
 	TotalAddrTokens int // address-validation token hits
+
+	// Pool-management totals (all zero unless a cap is set or
+	// Preconnect is called).
+	TotalEvicted      int // pooled connections closed by cap enforcement
+	TotalPreconns     int // speculative connections opened by Preconnect
+	TotalPreconnsUsed int // speculative connections a request later rode
 
 	// Per-outcome failure accounting.
 	TotalRetries   int
@@ -304,6 +347,10 @@ func (b *Browser) Reset() {
 	b.TotalValidations = 0
 	b.TotalZeroRTT = 0
 	b.TotalAddrTokens = 0
+	b.TotalEvicted = 0
+	b.TotalPreconns = 0
+	b.TotalPreconnsUsed = 0
+	b.useSeq = 0
 }
 
 // DropConns removes every pooled connection opened for host (the pool's
@@ -348,6 +395,29 @@ func (b *Browser) emit(ev obs.Event) {
 	b.Rec.Event(ev)
 }
 
+// markUsed stamps a use on the connection for LRU ordering, and counts
+// the first request to ride a speculative socket (converting it from a
+// wasted pre-connect to a used one).
+func (b *Browser) markUsed(c *Conn) {
+	c.lastUse = b.useSeq
+	b.useSeq++
+	if c.speculative && !c.used {
+		b.TotalPreconnsUsed++
+	}
+	c.used = true
+}
+
+// evict closes one pooled connection under cap pressure.
+func (b *Browser) evict(victim *Conn) {
+	for i, c := range b.conns {
+		if c == victim {
+			b.conns = append(b.conns[:i], b.conns[i+1:]...)
+			break
+		}
+	}
+	b.TotalEvicted++
+}
+
 // Request fetches host through the pool, coalescing when the policy
 // permits.
 func (b *Browser) Request(env Environment, host string) Outcome {
@@ -370,6 +440,7 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 				out.Reused, out.ViaOrigin = true, true
 				out.ConnHost = c.Host
 				out.Proto = c.Proto
+				b.markUsed(c)
 				b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "origin"})
 				b.account(out)
 				return out
@@ -410,6 +481,7 @@ func (b *Browser) Request(env Environment, host string) Outcome {
 			out.Reused = true
 			out.ConnHost = c.Host
 			out.Proto = c.Proto
+			b.markUsed(c)
 			b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "ip"})
 			b.account(out)
 			return out
@@ -479,7 +551,7 @@ func (b *Browser) findByIP(host string, answer []netip.Addr) *Conn {
 // cache.
 func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Addr, error) {
 	if b.Cache != nil {
-		if addrs, negative, ok := b.Cache.LookupDNS(host); ok {
+		if addrs, negative, ok := b.Cache.LookupDNSVia(b.DNSTransport, host); ok {
 			if negative {
 				out.NegCacheHit = true
 				b.TotalNegCacheHits++
@@ -498,7 +570,7 @@ func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Ad
 		addrs, ttl, err := b.envLookup(env, host)
 		if err == nil {
 			if b.Cache != nil && len(addrs) > 0 {
-				b.Cache.PutDNS(host, addrs, ttl)
+				b.Cache.PutDNSVia(b.DNSTransport, host, addrs, ttl)
 			}
 			return addrs, nil
 		}
@@ -506,7 +578,7 @@ func (b *Browser) lookup(env Environment, host string, out *Outcome) ([]netip.Ad
 		b.emit(obs.Event{Kind: obs.KindDNSFail, Host: host, Detail: err.Error()})
 		if try >= b.MaxRetries {
 			if b.Cache != nil {
-				b.Cache.PutNegativeDNS(host)
+				b.Cache.PutNegativeDNSVia(b.DNSTransport, host)
 			}
 			return nil, err
 		}
@@ -552,7 +624,60 @@ func (b *Browser) connectFresh(env Environment, host string, out Outcome) Outcom
 	return b.connectFreshWithAddrs(env, host, addrs, out)
 }
 
+// enforceHostCap applies MaxConnsPerHost before a fresh connection is
+// opened for host. At the cap the request is forced onto a reachable
+// same-host connection (multiplexing — real browsers queue rather than
+// over-open); when every pooled connection for the host is stale (the
+// server moved, so reuse would only 421), the oldest are evicted down
+// to cap-1 so the replacement fits without leaking dead sockets. The
+// returned Outcome is final only when done is true.
+func (b *Browser) enforceHostCap(env Environment, host string, out *Outcome) (final Outcome, done bool) {
+	if b.MaxConnsPerHost <= 0 {
+		return Outcome{}, false
+	}
+	var same []*Conn
+	for _, c := range b.conns {
+		if c.Host == host {
+			same = append(same, c)
+		}
+	}
+	if len(same) < b.MaxConnsPerHost {
+		return Outcome{}, false
+	}
+	for _, c := range same {
+		if env.Reachable(host, c.IP) {
+			out.Reused = true
+			out.ConnHost = c.Host
+			out.Proto = c.Proto
+			b.markUsed(c)
+			b.emit(obs.Event{Kind: obs.KindCoalesceHit, Host: host, Conn: c.Host, Detail: "pool-cap"})
+			b.account(*out)
+			return *out, true
+		}
+	}
+	for excess := len(same) - (b.MaxConnsPerHost - 1); excess > 0; excess-- {
+		oldest := same[0]
+		for _, c := range same[1:] {
+			if c.lastUse < oldest.lastUse {
+				oldest = c
+			}
+		}
+		b.evict(oldest)
+		kept := same[:0]
+		for _, c := range same {
+			if c != oldest {
+				kept = append(kept, c)
+			}
+		}
+		same = kept
+	}
+	return Outcome{}, false
+}
+
 func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []netip.Addr, out Outcome) Outcome {
+	if final, done := b.enforceHostCap(env, host, &out); done {
+		return final
+	}
 	ip := addrs[0]
 	if cf, ok := env.(ConnectFailer); ok {
 		connected := false
@@ -578,6 +703,16 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 			return out
 		}
 	}
+	b.openConn(env, host, ip, addrs, &out)
+	b.account(out)
+	return out
+}
+
+// openConn builds the connection for host at ip, runs the warm-path
+// ticket/token/memo block, and pools it — evicting the least recently
+// used pooled connection first when MaxConns is at its bound. Callers
+// account the outcome themselves (Preconnect deliberately does not).
+func (b *Browser) openConn(env Environment, host string, ip netip.Addr, addrs []netip.Addr, out *Outcome) *Conn {
 	proto := b.connProto(env, host)
 	c := &Conn{
 		Host:      host,
@@ -598,7 +733,19 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 		// Chromium keeps only the connected address (§2.3).
 		c.Available = []netip.Addr{ip}
 	}
+	if b.MaxConns > 0 {
+		for len(b.conns) >= b.MaxConns {
+			lru := b.conns[0]
+			for _, o := range b.conns[1:] {
+				if o.lastUse < lru.lastUse {
+					lru = o
+				}
+			}
+			b.evict(lru)
+		}
+	}
 	b.conns = append(b.conns, c)
+	b.markUsed(c)
 	out.NewConnection = true
 	out.ConnHost = host
 	out.Proto = proto
@@ -645,8 +792,44 @@ func (b *Browser) connectFreshWithAddrs(env Environment, host string, addrs []ne
 	if len(c.Origins) > 0 {
 		b.emit(obs.Event{Kind: obs.KindOriginFrame, Host: host, N: len(c.Origins)})
 	}
-	b.account(out)
-	return out
+	return c
+}
+
+// Preconnect opens a speculative connection to host ahead of any
+// request — the pre-connect sockets aggressive clients race against
+// the parser. The DNS and handshake work is real (TotalDNS and the
+// warm-path totals move) but no request is satisfied: the socket joins
+// the pool unused, and only a later request that rides it converts it
+// from a wasted socket into a win (TotalPreconnsUsed). Nothing is
+// opened — and false is returned — when the host already has a pooled
+// connection, the lookup fails, or the connection attempt faults.
+func (b *Browser) Preconnect(env Environment, host string) bool {
+	for _, c := range b.conns {
+		if c.Host == host {
+			return false
+		}
+	}
+	out := Outcome{Host: host, Proto: b.Proto}
+	addrs, err := b.lookup(env, host, &out)
+	b.TotalDNS += out.DNSQueries
+	if err != nil || len(addrs) == 0 {
+		return false
+	}
+	ip := addrs[0]
+	if cf, ok := env.(ConnectFailer); ok {
+		// Speculative sockets get no retry budget: a faulted attempt is
+		// simply abandoned.
+		if cf.ConnectFail(host, ip) != nil {
+			b.TotalConnFail++
+			b.emit(obs.Event{Kind: obs.KindConnectFail, Host: host, Detail: ip.String()})
+			return false
+		}
+	}
+	c := b.openConn(env, host, ip, addrs, &out)
+	c.speculative = true
+	c.used = false
+	b.TotalPreconns++
+	return true
 }
 
 func (b *Browser) account(out Outcome) {

@@ -46,6 +46,25 @@ func WithCache(c *cache.Cache) Option {
 	return func(b *Browser) { b.Cache = c }
 }
 
+// WithPoolLimits caps the connection pool: maxConns bounds the total
+// pool size (LRU eviction at the bound) and maxPerHost bounds the
+// connections pooled per hostname (same-host multiplexing at the
+// bound). 0 for either leaves that dimension unbounded — the
+// historical behaviour.
+func WithPoolLimits(maxConns, maxPerHost int) Option {
+	return func(b *Browser) {
+		b.MaxConns = maxConns
+		b.MaxConnsPerHost = maxPerHost
+	}
+}
+
+// WithDNSTransport keys the browser's warm-path DNS cache touches by
+// resolver transport. The default (TransportDo53) preserves the
+// historical keying byte for byte.
+func WithDNSTransport(t cache.DNSTransport) Option {
+	return func(b *Browser) { b.DNSTransport = t }
+}
+
 // SetRecorder installs an observability recorder post-construction.
 //
 // Deprecated: pass WithRecorder to New instead.

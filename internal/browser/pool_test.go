@@ -1,0 +1,221 @@
+package browser
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// poolEnv builds the one-host environment the cap tests revolve
+// around: www.example.com at ipA with a wildcard certificate.
+func poolEnv(ipA netip.Addr) *fakeEnv {
+	return &fakeEnv{
+		answers: map[string][]netip.Addr{
+			"www.example.com": {ipA},
+		},
+		sans: map[string][]string{
+			"www.example.com": {"www.example.com", "*.example.com"},
+		},
+	}
+}
+
+// The regression the capped pool exists to fix: after a CDN migration,
+// the 421-fallback path opens a replacement connection while the stale
+// connection is still pooled. Uncapped, both linger — DropConns(host)
+// reports 2, double-counting what is logically one live connection.
+// With MaxConnsPerHost=1 the stale socket must be evicted when the
+// replacement opens: exactly one pooled connection (on the live
+// address), one eviction, and DropConns returns 1.
+func TestHostCapEvictsStaleConnOn421Fallback(t *testing.T) {
+	ipA, ipB := ip("192.0.2.1"), ip("203.0.113.9")
+	migrate := func(env *fakeEnv) {
+		// The server moves to ipB; the answer still leaks the dead
+		// address, so IP coalescing finds the stale conn and 421s.
+		env.answers["www.example.com"] = []netip.Addr{ipB, ipA}
+		env.reachable = map[string]bool{
+			"www.example.com@" + ipA.String(): false,
+		}
+	}
+
+	// Uncapped baseline: the historical leak, documented.
+	b := New(PolicyChromium)
+	env := poolEnv(ipA)
+	b.Request(env, "www.example.com")
+	migrate(env)
+	out := b.Request(env, "www.example.com")
+	if !out.Got421 || !out.NewConnection {
+		t.Fatalf("migration revisit not a 421-fallback reconnect: %+v", out)
+	}
+	if n := b.DropConns("www.example.com"); n != 2 {
+		t.Fatalf("uncapped pool after 421-fallback: DropConns = %d, want the documented leak of 2", n)
+	}
+
+	// Capped, coalescing enabled: the stale socket is evicted when the
+	// replacement opens.
+	b = New(PolicyChromium, WithPoolLimits(0, 1))
+	env = poolEnv(ipA)
+	b.Request(env, "www.example.com")
+	migrate(env)
+	out = b.Request(env, "www.example.com")
+	if !out.Got421 || !out.NewConnection || out.Reused {
+		t.Fatalf("capped migration revisit: %+v", out)
+	}
+	if got := len(b.Conns()); got != 1 {
+		t.Fatalf("capped pool holds %d conns after 421-fallback, want 1", got)
+	}
+	if b.Conns()[0].IP != ipB {
+		t.Fatalf("surviving conn pinned to %v, want the live address %v", b.Conns()[0].IP, ipB)
+	}
+	if b.TotalEvicted != 1 || b.TotalNewConn != 2 || b.Total421 != 1 {
+		t.Fatalf("accounting: evicted=%d newconn=%d 421=%d, want 1/2/1",
+			b.TotalEvicted, b.TotalNewConn, b.Total421)
+	}
+	if n := b.DropConns("www.example.com"); n != 1 {
+		t.Fatalf("capped pool after 421-fallback: DropConns = %d, want 1 (no double-count)", n)
+	}
+}
+
+// At the per-host cap, a request whose answer no longer overlaps the
+// pooled connection's address set must not open a second socket when
+// the pooled server still serves the host: the cap forces same-host
+// multiplexing (Reused, not Coalesced — the carrying connection is the
+// host's own).
+func TestHostCapForcesSameHostMultiplexing(t *testing.T) {
+	ipA, ipB := ip("192.0.2.1"), ip("203.0.113.9")
+	b := New(PolicyChromium, WithPoolLimits(0, 1))
+	env := poolEnv(ipA)
+	b.Request(env, "www.example.com")
+	// A rotated answer with no overlap (Chromium kept only ipA), but
+	// the original server is alive and well.
+	env.answers["www.example.com"] = []netip.Addr{ipB}
+	out := b.Request(env, "www.example.com")
+	if !out.Reused || out.NewConnection || out.Got421 {
+		t.Fatalf("capped revisit did not multiplex: %+v", out)
+	}
+	if out.Coalesced() {
+		t.Fatalf("same-host multiplexing misreported as cross-host coalescing: %+v", out)
+	}
+	if b.TotalNewConn != 1 || len(b.Conns()) != 1 || b.TotalEvicted != 0 {
+		t.Fatalf("accounting: newconn=%d pool=%d evicted=%d, want 1/1/0",
+			b.TotalNewConn, len(b.Conns()), b.TotalEvicted)
+	}
+}
+
+// Cross-host coalescing still works under a per-host cap of 1: the
+// coalesced host rides another host's connection, which its own cap
+// does not govern.
+func TestHostCapDoesNotBlockCoalescing(t *testing.T) {
+	b := New(PolicyFirefox, WithPoolLimits(0, 1))
+	env := twoHostEnv()
+	b.Request(env, "www.example.com")
+	out := b.Request(env, "static.example.com")
+	if !out.Reused || !out.Coalesced() {
+		t.Fatalf("cap=1 broke cross-host coalescing: %+v", out)
+	}
+	if b.TotalNewConn != 1 || b.TotalEvicted != 0 {
+		t.Fatalf("accounting: newconn=%d evicted=%d, want 1/0", b.TotalNewConn, b.TotalEvicted)
+	}
+}
+
+// The total-pool cap evicts the least recently used connection, where
+// "use" includes reuse — a connection touched by a coalesced request
+// outlives an older untouched one.
+func TestTotalCapEvictsLeastRecentlyUsed(t *testing.T) {
+	ipA, ipB, ipC := ip("192.0.2.1"), ip("192.0.2.2"), ip("192.0.2.3")
+	env := &fakeEnv{
+		answers: map[string][]netip.Addr{
+			"a.example.com": {ipA},
+			"b.example.com": {ipB},
+			"c.example.com": {ipC},
+		},
+		sans: map[string][]string{
+			"a.example.com": {"a.example.com"},
+			"b.example.com": {"b.example.com"},
+			"c.example.com": {"c.example.com"},
+		},
+	}
+	b := New(PolicyChromium, WithPoolLimits(2, 0))
+	b.Request(env, "a.example.com")
+	b.Request(env, "b.example.com")
+	// Touch a: it becomes the most recently used.
+	if out := b.Request(env, "a.example.com"); !out.Reused {
+		t.Fatalf("same-host revisit not reused: %+v", out)
+	}
+	// c needs a slot: b (LRU) must go, a must survive.
+	b.Request(env, "c.example.com")
+	if b.TotalEvicted != 1 || len(b.Conns()) != 2 {
+		t.Fatalf("evicted=%d pool=%d, want 1/2", b.TotalEvicted, len(b.Conns()))
+	}
+	hosts := map[string]bool{}
+	for _, c := range b.Conns() {
+		hosts[c.Host] = true
+	}
+	if !hosts["a.example.com"] || !hosts["c.example.com"] || hosts["b.example.com"] {
+		t.Fatalf("pool after LRU eviction: %v, want {a, c}", hosts)
+	}
+}
+
+// Preconnect opens a real socket with real DNS, but it is not a
+// request: TotalNewConn stays put, and the socket counts as wasted
+// until a request rides it.
+func TestPreconnectAccounting(t *testing.T) {
+	ipA, ipB := ip("192.0.2.1"), ip("192.0.2.2")
+	env := &fakeEnv{
+		answers: map[string][]netip.Addr{
+			"www.example.com":  {ipA},
+			"idle.example.com": {ipB},
+		},
+		sans: map[string][]string{
+			"www.example.com":  {"www.example.com"},
+			"idle.example.com": {"idle.example.com"},
+		},
+	}
+	b := New(PolicyChromium)
+	if !b.Preconnect(env, "www.example.com") || !b.Preconnect(env, "idle.example.com") {
+		t.Fatal("preconnects did not open")
+	}
+	if b.Preconnect(env, "www.example.com") {
+		t.Fatal("preconnect re-opened an already-pooled host")
+	}
+	if b.TotalPreconns != 2 || b.TotalNewConn != 0 || b.TotalDNS != 2 || len(b.Conns()) != 2 {
+		t.Fatalf("after preconnects: preconns=%d newconn=%d dns=%d pool=%d, want 2/0/2/2",
+			b.TotalPreconns, b.TotalNewConn, b.TotalDNS, len(b.Conns()))
+	}
+	// The request rides the speculative socket: a reuse, and the socket
+	// converts from wasted to used.
+	out := b.Request(env, "www.example.com")
+	if !out.Reused || out.NewConnection {
+		t.Fatalf("request did not ride the preconnected socket: %+v", out)
+	}
+	if b.TotalPreconnsUsed != 1 {
+		t.Fatalf("TotalPreconnsUsed = %d, want 1", b.TotalPreconnsUsed)
+	}
+	if wasted := b.TotalPreconns - b.TotalPreconnsUsed; wasted != 1 {
+		t.Fatalf("wasted sockets = %d, want 1 (idle.example.com)", wasted)
+	}
+	// Riding it twice counts it used once.
+	b.Request(env, "www.example.com")
+	if b.TotalPreconnsUsed != 1 {
+		t.Fatalf("TotalPreconnsUsed double-counted: %d", b.TotalPreconnsUsed)
+	}
+}
+
+// Reset clears the pool-management counters along with everything
+// else.
+func TestResetClearsPoolCounters(t *testing.T) {
+	ipA := ip("192.0.2.1")
+	b := New(PolicyChromium, WithPoolLimits(1, 1))
+	env := poolEnv(ipA)
+	b.Preconnect(env, "www.example.com")
+	env.answers["www.example.com"] = []netip.Addr{ip("203.0.113.9"), ipA}
+	env.reachable = map[string]bool{"www.example.com@" + ipA.String(): false}
+	b.Request(env, "www.example.com")
+	if b.TotalPreconns == 0 || b.TotalEvicted == 0 {
+		t.Fatalf("scenario did not exercise the counters: preconns=%d evicted=%d",
+			b.TotalPreconns, b.TotalEvicted)
+	}
+	b.Reset()
+	if b.TotalEvicted != 0 || b.TotalPreconns != 0 || b.TotalPreconnsUsed != 0 || len(b.Conns()) != 0 {
+		t.Fatalf("Reset left pool counters: evicted=%d preconns=%d used=%d pool=%d",
+			b.TotalEvicted, b.TotalPreconns, b.TotalPreconnsUsed, len(b.Conns()))
+	}
+}

@@ -6,11 +6,41 @@ import (
 	"sync"
 )
 
+// DNSTransport tags a DNS cache entry with the resolver transport that
+// produced it. Answers are not interchangeable across transports: a
+// Do53 NXDOMAIN says nothing about what the DoH resolver would answer
+// (different resolver, different view, different filtering), so when a
+// sweep toggles resolver transport mid-run, entries minted under one
+// transport must never be served to lookups under the other.
+type DNSTransport uint8
+
+// Resolver transports.
+const (
+	// TransportDo53 is classic UDP/TCP port-53 resolution — the zero
+	// value, so every historical call site keys its entries here and
+	// behaviour stays byte-identical.
+	TransportDo53 DNSTransport = iota
+	// TransportDoH is RFC 8484 DNS-over-HTTPS resolution.
+	TransportDoH
+)
+
+func (t DNSTransport) String() string {
+	switch t {
+	case TransportDo53:
+		return "do53"
+	case TransportDoH:
+		return "doh"
+	default:
+		return "unknown"
+	}
+}
+
 // DNSCache is a TTL-aware answer cache with an LRU capacity bound.
-// Entries are keyed by (name, query type); both positive answers and
-// negative results (failed lookups) are stored. Eviction order is
-// deterministic: the least recently used entry goes first, and "use"
-// means a non-expired Get or a Put.
+// Entries are keyed by (transport, name, query type); both positive
+// answers and negative results (failed lookups) are stored. Eviction
+// order is deterministic: the least recently used entry goes first,
+// and "use" means a non-expired Get or a Put. All transports share one
+// capacity bound — a client has one DNS cache, however it resolves.
 type DNSCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -35,20 +65,27 @@ func newDNSCache(capacity int) *DNSCache {
 	return &DNSCache{capacity: capacity, entries: make(map[string]*dnsEntry)}
 }
 
-// dnsKey builds the cache key for a (name, type) question.
-func dnsKey(name string, typ uint16) string {
-	return strconv.Itoa(int(typ)) + "/" + name
+// dnsKey builds the cache key for a (transport, name, type) question.
+func dnsKey(t DNSTransport, name string, typ uint16) string {
+	return strconv.Itoa(int(t)) + "/" + strconv.Itoa(int(typ)) + "/" + name
 }
 
-// Get returns the cached answer for (name, typ) at simulated time
-// nowMs. negative reports a cached failure; ok is false on a miss. An
-// entry whose deadline equals nowMs is already expired: TTLs are
-// "seconds remaining", so at the instant the budget reaches zero the
-// answer may no longer be served.
+// Get returns the cached Do53-transport answer for (name, typ); see
+// GetVia for the transport-keyed form.
 func (d *DNSCache) Get(name string, typ uint16, nowMs int64) (addrs []netip.Addr, negative, ok bool) {
+	return d.GetVia(TransportDo53, name, typ, nowMs)
+}
+
+// GetVia returns the cached answer for (transport, name, typ) at
+// simulated time nowMs. negative reports a cached failure; ok is false
+// on a miss. An entry whose deadline equals nowMs is already expired:
+// TTLs are "seconds remaining", so at the instant the budget reaches
+// zero the answer may no longer be served. Entries minted under a
+// different transport never match.
+func (d *DNSCache) GetVia(t DNSTransport, name string, typ uint16, nowMs int64) (addrs []netip.Addr, negative, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	e, found := d.entries[d.canon(name, typ)]
+	e, found := d.entries[d.canon(t, name, typ)]
 	if !found {
 		d.misses++
 		return nil, false, false
@@ -68,27 +105,39 @@ func (d *DNSCache) Get(name string, typ uint16, nowMs int64) (addrs []netip.Addr
 	return append([]netip.Addr(nil), e.addrs...), false, true
 }
 
-// Put stores a positive answer with the given TTL. Zero-TTL answers are
-// uncacheable and dropped on the floor (they would expire at the very
-// instant of the next lookup anyway).
+// Put stores a positive Do53-transport answer; see PutVia.
 func (d *DNSCache) Put(name string, typ uint16, addrs []netip.Addr, ttlSeconds uint32, nowMs int64) {
+	d.PutVia(TransportDo53, name, typ, addrs, ttlSeconds, nowMs)
+}
+
+// PutVia stores a positive answer under its resolver transport with
+// the given TTL. Zero-TTL answers are uncacheable and dropped on the
+// floor (they would expire at the very instant of the next lookup
+// anyway).
+func (d *DNSCache) PutVia(t DNSTransport, name string, typ uint16, addrs []netip.Addr, ttlSeconds uint32, nowMs int64) {
 	if ttlSeconds == 0 || len(addrs) == 0 {
 		return
 	}
 	d.put(&dnsEntry{
-		key:       d.canon(name, typ),
+		key:       d.canon(t, name, typ),
 		addrs:     append([]netip.Addr(nil), addrs...),
 		expiresMs: nowMs + int64(ttlSeconds)*1000,
 	})
 }
 
-// PutNegative stores a failed lookup with the given negative TTL.
+// PutNegative stores a failed Do53-transport lookup; see PutNegativeVia.
 func (d *DNSCache) PutNegative(name string, typ uint16, ttlSeconds uint32, nowMs int64) {
+	d.PutNegativeVia(TransportDo53, name, typ, ttlSeconds, nowMs)
+}
+
+// PutNegativeVia stores a failed lookup under its resolver transport
+// with the given negative TTL.
+func (d *DNSCache) PutNegativeVia(t DNSTransport, name string, typ uint16, ttlSeconds uint32, nowMs int64) {
 	if ttlSeconds == 0 {
 		return
 	}
 	d.put(&dnsEntry{
-		key:       d.canon(name, typ),
+		key:       d.canon(t, name, typ),
 		negative:  true,
 		expiresMs: nowMs + int64(ttlSeconds)*1000,
 	})
@@ -115,7 +164,9 @@ func (d *DNSCache) Len() int {
 	return len(d.entries)
 }
 
-func (d *DNSCache) canon(name string, typ uint16) string { return dnsKey(canonical(name), typ) }
+func (d *DNSCache) canon(t DNSTransport, name string, typ uint16) string {
+	return dnsKey(t, canonical(name), typ)
+}
 
 // canonical lower-cases a hostname and strips one trailing dot,
 // mirroring the dns package's canonicalName without importing it.

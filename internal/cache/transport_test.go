@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mustAddrs(ss ...string) []netip.Addr {
+	out := make([]netip.Addr, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, netip.MustParseAddr(s))
+	}
+	return out
+}
+
+// A negative entry minted under one resolver transport must never
+// answer a lookup under the other: a Do53 NXDOMAIN says nothing about
+// the DoH resolver's view, and vice versa. This is the mid-sweep
+// transport-toggle regression: one shared client cache, two resolver
+// transports, no cross-contamination.
+func TestNegativeEntriesAreTransportKeyed(t *testing.T) {
+	c := New(Options{})
+
+	c.PutNegativeDNSVia(TransportDo53, "missing.example.com")
+	if _, neg, ok := c.LookupDNSVia(TransportDo53, "missing.example.com"); !ok || !neg {
+		t.Fatalf("Do53 negative entry not served to Do53 lookup: ok=%v neg=%v", ok, neg)
+	}
+	if _, neg, ok := c.LookupDNSVia(TransportDoH, "missing.example.com"); ok || neg {
+		t.Fatalf("Do53 NXDOMAIN served to a DoH lookup: ok=%v neg=%v", ok, neg)
+	}
+
+	c.PutNegativeDNSVia(TransportDoH, "gone.example.com")
+	if _, neg, ok := c.LookupDNSVia(TransportDoH, "gone.example.com"); !ok || !neg {
+		t.Fatalf("DoH negative entry not served to DoH lookup: ok=%v neg=%v", ok, neg)
+	}
+	if _, neg, ok := c.LookupDNSVia(TransportDo53, "gone.example.com"); ok || neg {
+		t.Fatalf("DoH NXDOMAIN served to a Do53 lookup: ok=%v neg=%v", ok, neg)
+	}
+}
+
+// Positive answers are transport-keyed too, and the two transports'
+// entries for the same name coexist without clobbering each other.
+func TestPositiveEntriesAreTransportKeyed(t *testing.T) {
+	c := New(Options{})
+	do53 := mustAddrs("192.0.2.1")
+	doh := mustAddrs("198.51.100.7", "198.51.100.8")
+
+	c.PutDNSVia(TransportDo53, "www.example.com", do53, 300)
+	if _, _, ok := c.LookupDNSVia(TransportDoH, "www.example.com"); ok {
+		t.Fatal("Do53 answer served to a DoH lookup")
+	}
+	c.PutDNSVia(TransportDoH, "www.example.com", doh, 300)
+
+	got53, neg, ok := c.LookupDNSVia(TransportDo53, "www.example.com")
+	if !ok || neg || len(got53) != 1 || got53[0] != do53[0] {
+		t.Fatalf("Do53 lookup after DoH put: %v neg=%v ok=%v", got53, neg, ok)
+	}
+	gotDoH, neg, ok := c.LookupDNSVia(TransportDoH, "www.example.com")
+	if !ok || neg || len(gotDoH) != 2 {
+		t.Fatalf("DoH lookup: %v neg=%v ok=%v", gotDoH, neg, ok)
+	}
+}
+
+// The legacy non-Via surface is exactly the Do53 key: existing call
+// sites (the dns.Resolver, the browser without a transport option)
+// keep their behaviour byte for byte.
+func TestLegacyMethodsAreDo53Keyed(t *testing.T) {
+	c := New(Options{})
+	addrs := mustAddrs("203.0.113.9")
+	c.PutDNS("a.example.com", addrs, 300)
+	if got, _, ok := c.LookupDNSVia(TransportDo53, "a.example.com"); !ok || got[0] != addrs[0] {
+		t.Fatalf("PutDNS did not land under the Do53 key: %v ok=%v", got, ok)
+	}
+	c.PutNegativeDNS("b.example.com")
+	if _, neg, ok := c.LookupDNSVia(TransportDo53, "b.example.com"); !ok || !neg {
+		t.Fatalf("PutNegativeDNS did not land under the Do53 key: neg=%v ok=%v", neg, ok)
+	}
+	if _, _, ok := c.LookupDNSVia(TransportDoH, "a.example.com"); ok {
+		t.Fatal("legacy positive entry leaked into the DoH keyspace")
+	}
+}
+
+// Both transports share the one LRU capacity bound — a client has one
+// DNS cache — and eviction across the boundary stays deterministic.
+func TestTransportsShareLRUCapacity(t *testing.T) {
+	c := New(Options{DNSCapacity: 2})
+	c.PutDNSVia(TransportDo53, "a.example.com", mustAddrs("192.0.2.1"), 300)
+	c.PutDNSVia(TransportDoH, "a.example.com", mustAddrs("192.0.2.2"), 300)
+	if n := c.DNS.Len(); n != 2 {
+		t.Fatalf("two transports, one name: Len=%d, want 2 distinct entries", n)
+	}
+	// Inserting a third entry evicts the least recently used (the Do53
+	// one), regardless of transport.
+	c.PutDNSVia(TransportDo53, "b.example.com", mustAddrs("192.0.2.3"), 300)
+	if _, _, ok := c.LookupDNSVia(TransportDo53, "a.example.com"); ok {
+		t.Fatal("LRU entry survived past capacity")
+	}
+	if _, _, ok := c.LookupDNSVia(TransportDoH, "a.example.com"); !ok {
+		t.Fatal("recently used DoH entry evicted out of order")
+	}
+}

@@ -9,6 +9,8 @@
 package netsim
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -48,14 +50,79 @@ type Params struct {
 	// values ≤ 0 mean 1. Degraded-network models (packet loss driving
 	// retransmissions) set it above 1 via faults.InflationFactor.
 	LatencyScale float64
+
+	// LossRate is the packet-loss probability on the path, in [0, 1).
+	// Loss drives retransmissions, so every phase duration is inflated
+	// by 1/(1-LossRate) — the expected transmission count per segment.
+	// The zero value leaves every duration (and every output byte)
+	// identical to a loss-free build. Values outside [0, 1) are the
+	// NaN/underflow hazard Validate rejects; scale() clamps them to
+	// no-op so an unvalidated construction cannot poison durations.
+	LossRate float64
 }
 
 // scale returns the effective latency multiplier.
 func (p Params) scale() float64 {
-	if p.LatencyScale <= 0 {
-		return 1
+	s := p.LatencyScale
+	if s <= 0 {
+		s = 1
 	}
-	return p.LatencyScale
+	if p.LossRate > 0 && p.LossRate < 1 {
+		s *= 1 / (1 - p.LossRate)
+	}
+	return s
+}
+
+// CostScale exposes the effective latency multiplier (LatencyScale
+// folded with loss inflation) for pure-arithmetic cost models that
+// price setup phases without drawing from a Network's RNG stream.
+func (p Params) CostScale() float64 { return p.scale() }
+
+// Validate rejects parameter combinations that would produce NaN,
+// infinite, or negative phase durations: a profile is only usable when
+// every duration it prices is finite and non-negative and its transfer
+// model is actually on. Legacy call sites that deliberately run with
+// the transfer model off (BandwidthKBps <= 0 means "no transfer time")
+// construct via New, which stays lenient; profile construction and the
+// scenario matrix go through Validate/NewChecked.
+func (p Params) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("netsim: %s is not finite (%v)", name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("netsim: %s is negative (%v)", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"RTTMs", p.RTTMs},
+		{"JitterMs", p.JitterMs},
+		{"DNSMs", p.DNSMs},
+		{"TLSRoundTrips", p.TLSRoundTrips},
+		{"ServerThinkMs", p.ServerThinkMs},
+		{"CertVerifyMs", p.CertVerifyMs},
+		{"ExtraCertVerifyPerSANMs", p.ExtraCertVerifyPerSANMs},
+		{"HappyEyeballsProb", p.HappyEyeballsProb},
+		{"SpeculativeProb", p.SpeculativeProb},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(p.BandwidthKBps) || math.IsInf(p.BandwidthKBps, 0) || p.BandwidthKBps <= 0 {
+		return fmt.Errorf("netsim: BandwidthKBps must be positive and finite, got %v (zero/negative bandwidth would underflow transfer times)", p.BandwidthKBps)
+	}
+	if math.IsNaN(p.LossRate) || p.LossRate < 0 || p.LossRate >= 1 {
+		return fmt.Errorf("netsim: LossRate must be in [0, 1), got %v (loss >= 1 makes retransmission inflation infinite)", p.LossRate)
+	}
+	if math.IsNaN(p.LatencyScale) || math.IsInf(p.LatencyScale, 0) {
+		return fmt.Errorf("netsim: LatencyScale is not finite (%v)", p.LatencyScale)
+	}
+	return nil
 }
 
 // DefaultParams model the paper's median crawl conditions, calibrated
@@ -113,9 +180,21 @@ func (n *Network) SetRecorder(rec obs.Recorder) {
 	n.mu.Unlock()
 }
 
-// New returns a deterministic network for the given seed.
+// New returns a deterministic network for the given seed. It accepts
+// any parameters for compatibility (BandwidthKBps <= 0 means "transfer
+// model off"); callers building named profiles should prefer NewChecked.
 func New(p Params, seed int64) *Network {
 	return &Network{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewChecked validates p and returns a deterministic network for the
+// given seed, rejecting parameters that would price NaN, infinite, or
+// negative durations (zero/negative bandwidth, loss >= 1, negatives).
+func NewChecked(p Params, seed int64) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return New(p, seed), nil
 }
 
 func (n *Network) jitter() float64 {

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"respectorigin/internal/har"
+)
+
+// pageEnv is the browser.Environment a replayed page presents: DNS
+// answers, certificates, origin sets and server reachability
+// reconstructed from the page's own entries. It is mutable — a
+// mid-crawl CDN migration recorded in the corpus (a later NewDNS entry
+// with a different answer) re-homes the host as the replay reaches it.
+type pageEnv struct {
+	addrs map[string][]netip.Addr // current answer set per host
+	sans  map[string][]string     // certificate SANs per SNI host
+
+	// The first-party cluster (root + sharded subdomains). Cluster
+	// servers are interchangeable — the site operator controls them all
+	// — so any current cluster address serves any cluster hostname, and
+	// cluster connections advertise the cluster as their origin set.
+	// That is what lets ORIGIN-frame coalescing merge shards that have
+	// no address overlap, and what makes pre-migration connections go
+	// stale (421) once the cluster re-homes.
+	cluster      map[string]bool
+	clusterAddrs map[netip.Addr]bool
+	origins      []string
+}
+
+func newPageEnv(p *har.Page) *pageEnv {
+	e := &pageEnv{
+		addrs:        map[string][]netip.Addr{},
+		sans:         map[string][]string{},
+		cluster:      map[string]bool{},
+		clusterAddrs: map[netip.Addr]bool{},
+	}
+	apexSuffix := "." + strings.TrimPrefix(p.Host, "www.")
+	for i := range p.Entries {
+		en := &p.Entries[i]
+		if en.NewDNS && e.addrs[en.Host] == nil {
+			e.addrs[en.Host] = en.DNSAnswer
+		}
+		if len(en.CertSANs) > 0 && e.sans[en.Host] == nil {
+			e.sans[en.Host] = en.CertSANs
+		}
+		if en.Host == p.Host || strings.HasSuffix(en.Host, apexSuffix) {
+			e.cluster[en.Host] = true
+		}
+	}
+	e.origins = make([]string, 0, len(e.cluster))
+	for h := range e.cluster {
+		e.origins = append(e.origins, h)
+	}
+	sort.Strings(e.origins)
+	e.rebuildClusterAddrs()
+	return e
+}
+
+func (e *pageEnv) rebuildClusterAddrs() {
+	e.clusterAddrs = map[netip.Addr]bool{}
+	for h := range e.cluster {
+		for _, a := range e.addrs[h] {
+			e.clusterAddrs[a] = true
+		}
+	}
+}
+
+// migrate re-homes host onto a new answer set (the replayed form of a
+// recorded re-resolution).
+func (e *pageEnv) migrate(host string, addrs []netip.Addr) {
+	e.addrs[host] = addrs
+	if e.cluster[host] {
+		e.rebuildClusterAddrs()
+	}
+}
+
+// answerChanged reports whether the entry records a re-resolution whose
+// answer differs from the environment's current view of the host.
+func (e *pageEnv) answerChanged(en *har.Entry) bool {
+	if !en.NewDNS || len(en.DNSAnswer) == 0 {
+		return false
+	}
+	cur := e.addrs[en.Host]
+	if len(cur) != len(en.DNSAnswer) {
+		return true
+	}
+	for i, a := range cur {
+		if a != en.DNSAnswer[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- browser.Environment ---
+
+func (e *pageEnv) Lookup(host string) ([]netip.Addr, error) {
+	addrs := e.addrs[host]
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("scenario: no recorded answer for %s", host)
+	}
+	return addrs, nil
+}
+
+func (e *pageEnv) CertSANs(host string, ip netip.Addr) []string {
+	if sans := e.sans[host]; sans != nil {
+		return sans
+	}
+	return []string{host}
+}
+
+func (e *pageEnv) OriginSet(host string, ip netip.Addr) []string {
+	if e.cluster[host] {
+		return e.origins
+	}
+	return nil
+}
+
+func (e *pageEnv) Reachable(host string, ip netip.Addr) bool {
+	if e.cluster[host] {
+		return e.clusterAddrs[ip]
+	}
+	for _, a := range e.addrs[host] {
+		if a == ip {
+			return true
+		}
+	}
+	return false
+}

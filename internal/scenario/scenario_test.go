@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"respectorigin/internal/cache"
+	"respectorigin/internal/netsim"
+	"respectorigin/internal/webgen"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func smallConfig(sites, workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Sites = sites
+	cfg.Workers = workers
+	return cfg
+}
+
+// renderAll is the full byte surface of a sweep: the table and the
+// NDJSON cells.
+func renderAll(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(res.Table())
+	if err := res.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The engine's core guarantee: the full matrix output is byte-identical
+// at any worker count.
+func TestMatrixWorkerInvariant(t *testing.T) {
+	seq := renderAll(t, mustRun(t, smallConfig(30, 1)))
+	for _, w := range []int{4, 16} {
+		if got := renderAll(t, mustRun(t, smallConfig(30, w))); !bytes.Equal(got, seq) {
+			t.Fatalf("Workers=%d: matrix output differs from sequential", w)
+		}
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The default matrix covers the acceptance floor: ≥3 personas, 3
+// archetypes, ≥3 network profiles, and both resolver transports.
+func TestDefaultMatrixDimensions(t *testing.T) {
+	res := mustRun(t, smallConfig(20, 4))
+	personas := map[string]bool{}
+	archetypes := map[string]bool{}
+	profiles := map[string]bool{}
+	dns := map[string]bool{}
+	for _, c := range res.Cells {
+		personas[c.Persona] = true
+		archetypes[c.Archetype] = true
+		profiles[c.Profile] = true
+		dns[c.DNS] = true
+	}
+	if len(personas) < 3 || len(archetypes) < 3 || len(profiles) < 3 || len(dns) != 2 {
+		t.Fatalf("matrix dims: %d personas × %d archetypes × %d profiles × %d transports, want ≥3×≥3×≥3×2",
+			len(personas), len(archetypes), len(profiles), len(dns))
+	}
+	want := len(personas) * len(archetypes) * len(profiles) * len(dns)
+	if len(res.Cells) != want {
+		t.Fatalf("%d cells, want the full cross-product %d", len(res.Cells), want)
+	}
+}
+
+// The matrix reproduces the sweep's headline structure: domain sharding
+// zeroes out IP-based coalescing while the ORIGIN-frame persona keeps
+// coalescing, and the migration universe is the only one that produces
+// 421 bounces (on the ORIGIN persona, whose pooled cluster connections
+// go stale mid-page).
+func TestMatrixReproducesShardingObservation(t *testing.T) {
+	res := mustRun(t, smallConfig(40, 4))
+	cell := func(persona, archetype string) Cell {
+		for _, c := range res.Cells {
+			if c.Persona == persona && c.Archetype == archetype && c.Profile == "wired" && c.DNS == "do53" {
+				return c
+			}
+		}
+		t.Fatalf("cell %s/%s missing", persona, archetype)
+		return Cell{}
+	}
+	if c := cell("chrome", "sharded"); c.CoalescePct() != 0 {
+		t.Errorf("chrome on sharded pages coalesces %.2f%%, want 0 (distinct shard servers defeat IP matching)", c.CoalescePct())
+	}
+	if c := cell("safari", "sharded"); c.CoalescePct() != 0 {
+		t.Errorf("safari on sharded pages coalesces %.2f%%, want 0", c.CoalescePct())
+	}
+	if c := cell("mobile", "sharded"); c.CoalescePct() <= 0 || c.ViaOrigin == 0 {
+		t.Errorf("ORIGIN persona on sharded pages: coalesce %.2f%%, via-origin %d — the frame should recover the shards", c.CoalescePct(), c.ViaOrigin)
+	}
+	base := cell("chrome", "baseline")
+	if base.CoalescePct() <= 0 {
+		t.Errorf("chrome on baseline pages coalesces %.2f%%, want > 0 (shared-server shards exist)", base.CoalescePct())
+	}
+	if c := cell("mobile", "migration"); c.Got421 == 0 || c.Evicted == 0 {
+		t.Errorf("migration universe produced no stale-pool pressure: 421=%d evicted=%d", c.Got421, c.Evicted)
+	}
+	if c := cell("chrome", "baseline"); c.Preconns == 0 {
+		t.Errorf("chrome persona opened no speculative sockets")
+	}
+}
+
+// DoH and Do53 cells differ only in resolution pricing, never in the
+// connection economy: the resolver transport must not perturb pool
+// behaviour.
+func TestTransportAffectsOnlyPricing(t *testing.T) {
+	res := mustRun(t, smallConfig(30, 4))
+	byKey := map[string]Cell{}
+	for _, c := range res.Cells {
+		byKey[c.Persona+"/"+c.Archetype+"/"+c.Profile+"/"+c.DNS] = c
+	}
+	for _, c := range res.Cells {
+		if c.DNS != "do53" {
+			continue
+		}
+		o, ok := byKey[c.Persona+"/"+c.Archetype+"/"+c.Profile+"/doh"]
+		if !ok {
+			t.Fatalf("missing doh twin for %+v", c)
+		}
+		if c.Conns != o.Conns || c.Reused != o.Reused || c.Got421 != o.Got421 ||
+			c.Evicted != o.Evicted || c.DNSQueries != o.DNSQueries {
+			t.Fatalf("transport changed the connection economy:\n do53: %+v\n doh:  %+v", c, o)
+		}
+		if c.SetupMs == o.SetupMs {
+			t.Fatalf("transport did not change pricing: %+v vs %+v", c, o)
+		}
+	}
+}
+
+// Bad axis values are rejected up front.
+func TestRunRejectsBadAxes(t *testing.T) {
+	cfg := smallConfig(10, 1)
+	cfg.Archetypes = []webgen.Archetype{"nope"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown archetype accepted")
+	}
+	cfg = smallConfig(10, 1)
+	bad := netsim.DefaultParams()
+	bad.LossRate = 1.5
+	cfg.Profiles = []netsim.Profile{{Name: "bad", Params: bad}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	cfg = smallConfig(0, 1)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero sites accepted")
+	}
+}
+
+// The seed-1 matrix table is pinned byte for byte. Regenerate with
+//
+//	go test ./internal/scenario -run TestMatrixGolden -update-golden
+func TestMatrixGolden(t *testing.T) {
+	cfg := Config{
+		Seed:       1,
+		Sites:      25,
+		Workers:    4,
+		Personas:   Personas(),
+		Archetypes: webgen.Archetypes(),
+		Profiles:   []netsim.Profile{netsim.ProfileWired(), netsim.Profile4G(), netsim.Profile3G()},
+		Transports: []cache.DNSTransport{cache.TransportDo53, cache.TransportDoH},
+	}
+	got := []byte(mustRun(t, cfg).Table())
+	path := filepath.Join("testdata", "matrix_seed1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("seed-1 matrix table drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

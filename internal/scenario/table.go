@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders the sweep as the "who coalesces, who shards, what it
+// costs" matrix: one row per cell in cross-product order, fixed-width
+// columns, deterministic byte for byte.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix: who coalesces, who shards, what it costs\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-5s %6s %7s %7s %7s %6s %6s %6s %9s %6s %12s\n",
+		"persona", "archetype", "profile", "dns",
+		"pages", "reqs", "conns", "reused", "coal%", "421", "evict", "wasted", "dnsq", "setup-ms")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-8s %-10s %-10s %-5s %6d %7d %7d %7d %6.2f %6d %6d %9d %6d %12.1f\n",
+			c.Persona, c.Archetype, c.Profile, c.DNS,
+			c.Pages, c.Requests, c.Conns, c.Reused, c.CoalescePct(),
+			c.Got421, c.Evicted, c.Wasted, c.DNSQueries, c.SetupMs)
+	}
+	return b.String()
+}
+
+// WriteNDJSON emits one JSON object per cell, in cross-product order —
+// the machine-readable twin of Table for the bench harness and diffing.
+func (r *Result) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, c := range r.Cells {
+		if err := enc.Encode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -39,6 +39,10 @@ type Config struct {
 	// runtime.GOMAXPROCS. Every page is a pure function of (Seed, rank),
 	// so output is byte-identical for every worker count.
 	Workers int
+	// Archetype selects the page-structure universe (baseline, sharded,
+	// migration). The zero value is the baseline measured-web universe
+	// and leaves output byte-identical to a Config without the field.
+	Archetype Archetype
 	// RankLo and RankHi restrict generation to ranks [RankLo, RankHi).
 	// Zero values mean the whole corpus, [1, Sites+1). Pages are pure
 	// functions of (Seed, rank, Sites), so a sub-range run emits exactly
@@ -111,6 +115,9 @@ func GenerateStream(cfg Config, emit func(*har.Page) error) (*StreamResult, erro
 	}
 	if cfg.Net.RTTMs == 0 {
 		cfg.Net = netsim.DefaultParams()
+	}
+	if err := cfg.Archetype.Validate(); err != nil {
+		return nil, err
 	}
 	rankLo, rankHi := cfg.RankLo, cfg.RankHi
 	if rankLo == 0 && rankHi == 0 {
@@ -441,9 +448,21 @@ func (g *generator) genPage(rank int, rng *rand.Rand) *har.Page {
 		nShards = 1 + rng.Intn(5)
 	}
 	shardNames := []string{"static", "img", "cdn", "assets", "media"}
+	if g.cfg.Archetype == ArchetypeSharded && nSAN > 0 {
+		// The sharding universe: every SAN-carrying site fans out across
+		// the full shard set.
+		nShards = len(shardNames)
+	}
 	for s := 0; s < nShards; s++ {
 		addHost(shardNames[s]+"."+apex, provName, provASN, provPrefix, 0)
 		hosts[len(hosts)-1].deepDiscovery = true
+		if g.cfg.Archetype == ArchetypeSharded {
+			// Sharded shards always get their own server addresses (the
+			// per-name hash already spread them): no same-server overlap,
+			// so IP coalescing finds nothing and only ORIGIN + a covering
+			// certificate can merge the shards back.
+			continue
+		}
 		// Some shards live on the same server as the root host: these
 		// are the "missed opportunities" ideal IP coalescing recovers
 		// (§4.2).
@@ -629,8 +648,48 @@ func (g *generator) genPage(rank int, rng *rand.Rand) *har.Page {
 	// connection setup time to the page's critical path.
 	waveAnchors := make([][]int, maxWave)
 	freshDone := map[int]bool{}
+
+	// Mid-crawl CDN migration (ArchetypeMigration only): from migWave on,
+	// the first-party cluster (root + shards) lives on a new network. A
+	// host's first post-migration request re-resolves — a fresh NewDNS
+	// entry whose answer set is disjoint from the pre-migration one — so
+	// replay clients holding pooled connections to the old home discover
+	// them stale. Shards that shared the root's server keep sharing the
+	// new one; the cluster moves together, as a CDN switch moves it.
+	var migWave int
+	var migAddrs [][]netip.Addr
+	var migASN uint32
+	var migProv string
+	migDone := map[int]bool{}
+	if g.cfg.Archetype == ArchetypeMigration {
+		migWave = 5 + rng.Intn(4)
+		mi := rng.Intn(tailASSpace)
+		migASN = g.tailAS(mi)
+		migProv = fmt.Sprintf("Tail-AS-%d", mi)
+		pfx := tailPrefix(mi)
+		migAddrs = make([][]netip.Addr, len(hosts))
+		for hi := 0; hi <= nShards && hi < len(hosts); hi++ {
+			if hi > 0 && len(hosts[hi].addrs) > 0 && len(hosts[0].addrs) > 0 && hosts[hi].addrs[0] == hosts[0].addrs[0] {
+				migAddrs[hi] = migAddrs[0]
+				continue
+			}
+			set := make([]netip.Addr, 0, len(hosts[hi].addrs))
+			for a := range hosts[hi].addrs {
+				set = append(set, hostAddr(pfx, hash32(hosts[hi].name)+uint32(a)))
+			}
+			migAddrs[hi] = set
+		}
+	}
+
 	for _, pr := range reqs {
 		h := &hosts[pr.host]
+		if g.cfg.Archetype == ArchetypeMigration && pr.host <= nShards && pr.wave >= migWave && !migDone[pr.host] {
+			migDone[pr.host] = true
+			h.addrs = migAddrs[pr.host]
+			h.asn = migASN
+			h.provider = migProv
+			freshDone[pr.host] = false
+		}
 		e := har.Entry{
 			Host:     h.name,
 			Method:   "GET",
